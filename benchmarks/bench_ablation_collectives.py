@@ -1,0 +1,53 @@
+"""Ablation: collective algorithm choice × protocol stack.
+
+The MPI layer builds collectives from point-to-point messages (paper
+§2), so the best decomposition depends on how the stack prices
+messages.  Measures allreduce algorithms at small and large vector
+sizes on both stacks.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SPCluster
+from repro.mpi.coll_algorithms import ALLREDUCE_ALGORITHMS
+
+SIZES = {"small": 64, "large": 65536}
+
+
+def allreduce_time(stack, algo, nbytes, nodes=4):
+    cl = SPCluster(nodes, stack=stack)
+    n = nbytes // 8
+
+    def program(comm, rank, size):
+        comm.coll_algorithms["allreduce"] = algo
+        out = np.zeros(n)
+        yield from comm.allreduce(np.full(n, float(rank)), out)
+        return None
+
+    return cl.run(program).elapsed_us
+
+
+@pytest.mark.parametrize("algo", sorted(ALLREDUCE_ALGORITHMS))
+@pytest.mark.parametrize("label", sorted(SIZES))
+@pytest.mark.parametrize("stack", ["native", "lapi-enhanced"])
+def test_allreduce_algo(benchmark, stack, label, algo):
+    t = benchmark.pedantic(
+        lambda: allreduce_time(stack, algo, SIZES[label]), rounds=1, iterations=1
+    )
+    assert t > 0
+
+
+def test_ring_wins_large_reduce_bcast_wins_small(benchmark):
+    def measure():
+        return {
+            (algo, label): allreduce_time("lapi-enhanced", algo, nbytes)
+            for algo in ("reduce_bcast", "ring")
+            for label, nbytes in SIZES.items()
+        }
+
+    t = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # bandwidth-optimal ring wins on big vectors...
+    assert t[("ring", "large")] < t[("reduce_bcast", "large")]
+    # ...but pays extra rounds on small ones
+    assert t[("reduce_bcast", "small")] < t[("ring", "small")]

@@ -1,0 +1,41 @@
+"""Ablation: the native stack's pipe staging window (16 KB first/last).
+
+The copies through the pipe buffers are the native stack's §2 overhead;
+growing the window hurts native bandwidth, shrinking it toward zero
+approaches MPI-LAPI's copy discipline.
+"""
+
+import pytest
+
+from repro import MachineParams
+from repro.bench.harness import bandwidth_mbps
+
+WINDOWS = [0, 4096, 16384, 65536]
+
+
+@pytest.mark.parametrize("window", WINDOWS)
+def test_native_bandwidth_vs_copy_window(benchmark, window):
+    bw = benchmark.pedantic(
+        lambda: bandwidth_mbps(
+            "native", 65536, count=12,
+            params=MachineParams(pipe_copy_window=window),
+        ),
+        rounds=1, iterations=1,
+    )
+    assert bw > 0
+
+
+def test_bandwidth_monotonic_in_window(benchmark):
+    def measure():
+        return [
+            bandwidth_mbps("native", 65536, count=12,
+                           params=MachineParams(pipe_copy_window=w))
+            for w in WINDOWS
+        ]
+
+    bws = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert all(a >= b * 0.999 for a, b in zip(bws, bws[1:])), bws
+    # zero staging narrows (not necessarily closes) the gap to MPI-LAPI
+    lapi = bandwidth_mbps("lapi-enhanced", 65536, count=12)
+    assert bws[0] > bws[2], "removing staging copies must help"
+    assert lapi > bws[2], "with the paper's 16K window MPI-LAPI wins"

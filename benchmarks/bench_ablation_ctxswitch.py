@@ -1,0 +1,57 @@
+"""Ablation: the completion-handler context-switch cost (§5 hypothesis).
+
+The paper's central claim is that the Base/Enhanced gap is *entirely*
+the cost of dispatching completion handlers on a separate thread.  If
+that is true in this model, sweeping ``ctx_switch_us`` toward zero must
+collapse MPI-LAPI Base onto Enhanced.
+"""
+
+import pytest
+
+from repro import MachineParams
+from repro.bench.harness import pingpong_us
+
+SWEEP = [0.0, 6.0, 12.0, 24.0, 48.0]
+
+
+@pytest.mark.parametrize("ctx_us", SWEEP)
+def test_base_latency_vs_ctx_switch(benchmark, ctx_us):
+    t = benchmark.pedantic(
+        lambda: pingpong_us(
+            "lapi-base", 64, reps=6, params=MachineParams(ctx_switch_us=ctx_us)
+        ),
+        rounds=1, iterations=1,
+    )
+    assert t > 0
+
+
+def test_gap_collapses_without_switch_cost(benchmark):
+    def measure():
+        p0 = MachineParams(ctx_switch_us=0.0)
+        base0 = pingpong_us("lapi-base", 64, reps=6, params=p0)
+        enh0 = pingpong_us("lapi-enhanced", 64, reps=6, params=p0)
+        p24 = MachineParams(ctx_switch_us=24.0)
+        base24 = pingpong_us("lapi-base", 64, reps=6, params=p24)
+        enh24 = pingpong_us("lapi-enhanced", 64, reps=6, params=p24)
+        return base0, enh0, base24, enh24
+
+    base0, enh0, base24, enh24 = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # with the switch cost zeroed, base sits within a few us of enhanced
+    assert base0 - enh0 < 5.0
+    # with it restored, the gap is roughly two switches per message
+    assert base24 - enh24 > 1.5 * 24.0 * 0.8
+
+
+def test_gap_scales_linearly_with_switch_cost(benchmark):
+    def measure():
+        return [
+            pingpong_us("lapi-base", 64, reps=6,
+                        params=MachineParams(ctx_switch_us=c))
+            for c in (0.0, 12.0, 24.0)
+        ]
+
+    t0, t12, t24 = benchmark.pedantic(measure, rounds=1, iterations=1)
+    d1 = t12 - t0
+    d2 = t24 - t12
+    assert d1 > 0 and d2 > 0
+    assert abs(d1 - d2) < 0.5 * max(d1, d2), "gap should grow ~linearly"

@@ -1,0 +1,58 @@
+"""LAPI primitive microbenchmarks (Table 1 operations under load)."""
+
+import pytest
+
+from repro.bench import micro
+
+
+@pytest.mark.parametrize("size", [8, 1024, 16384])
+def test_amsend(benchmark, size):
+    t = benchmark.pedantic(lambda: micro.amsend_oneway_us(size, reps=6),
+                           rounds=1, iterations=1)
+    assert t > 0
+
+
+@pytest.mark.parametrize("size", [8, 16384])
+def test_put(benchmark, size):
+    t = benchmark.pedantic(lambda: micro.put_oneway_us(size, reps=6),
+                           rounds=1, iterations=1)
+    assert t > 0
+
+
+def test_get(benchmark):
+    t = benchmark.pedantic(lambda: micro.get_roundtrip_us(1024, reps=4),
+                           rounds=1, iterations=1)
+    assert t > 0
+
+
+def test_rmw(benchmark):
+    t = benchmark.pedantic(lambda: micro.rmw_roundtrip_us(reps=4),
+                           rounds=1, iterations=1)
+    assert t > 0
+
+
+def test_gfence(benchmark):
+    t = benchmark.pedantic(lambda: micro.gfence_us(4), rounds=1, iterations=1)
+    assert t > 0
+
+
+def test_primitive_relationships(benchmark):
+    """Structural sanity: a Get costs about a full round trip of its
+    payload; Put and Amsend are within a whisker of each other (Put IS
+    an Amsend with the internal put handler)."""
+
+    def measure():
+        return {
+            "amsend": micro.amsend_oneway_us(1024, reps=6),
+            "amsend8": micro.amsend_oneway_us(8, reps=6),
+            "put": micro.put_oneway_us(1024, reps=6),
+            "get": micro.get_roundtrip_us(1024, reps=4),
+            "rmw": micro.rmw_roundtrip_us(reps=4),
+        }
+
+    t = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert abs(t["amsend"] - t["put"]) < 2.0
+    # a Get is a tiny request one way plus the payload back
+    assert abs(t["get"] - (t["amsend8"] + t["amsend"])) < 10.0
+    # an Rmw is two tiny messages
+    assert abs(t["rmw"] - 2 * t["amsend8"]) < 5.0

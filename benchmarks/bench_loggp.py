@@ -1,0 +1,27 @@
+"""LogGP characterisation as regression-checked numbers."""
+
+import pytest
+
+from repro.bench import loggp
+
+
+@pytest.mark.parametrize("stack", ["native", "lapi-enhanced"])
+def test_fit(benchmark, stack):
+    out = benchmark.pedantic(lambda: loggp.fit(stack), rounds=1, iterations=1)
+    assert out["L_plus_2o_us"] > 0
+    assert out["G_us_per_byte"] > 0
+
+
+def test_paper_story_in_loggp_terms(benchmark):
+    data = benchmark.pedantic(loggp.rows, rounds=1, iterations=1)
+    native, lapi = data
+    # MPI-LAPI: slightly larger constant term...
+    assert lapi["L_plus_2o_us"] > native["L_plus_2o_us"]
+    assert lapi["L_plus_2o_us"] - native["L_plus_2o_us"] < 6.0
+    # ...much smaller per-byte gap (the copy-avoidance dividend)
+    assert native["G_us_per_byte"] > 1.2 * lapi["G_us_per_byte"]
+    # and the implied crossover lands in the hundreds of bytes
+    crossover = (lapi["L_plus_2o_us"] - native["L_plus_2o_us"]) / (
+        native["G_us_per_byte"] - lapi["G_us_per_byte"]
+    )
+    assert 30 < crossover < 2000

@@ -1,0 +1,57 @@
+"""What-if: how hardware evolution erodes the paper's advantage.
+
+The MPI-LAPI win is fundamentally a *copy-avoidance* win, so it is a
+bet on memcpy being slow relative to the wire.  Sweeping the host copy
+bandwidth shows the 64 KB bandwidth gap shrinking as memory gets faster
+— the quantitative version of why zero-copy mattered so much in 1998
+and why the calculus shifts on later machines (and why the paper's
+successors — today's UCX/libfabric — still fight the same fight at
+today's ratios).
+"""
+
+import pytest
+
+from repro import MachineParams
+from repro.bench.harness import bandwidth_mbps, pingpong_us
+
+COPY_RATES = [100.0, 150.0, 400.0, 1600.0]
+
+
+def gap_at(copy_mbps: float) -> float:
+    """Relative MPI-LAPI bandwidth advantage at 64 KB."""
+    p = MachineParams(copy_bandwidth_MBps=copy_mbps)
+    n = bandwidth_mbps("native", 65536, count=12, params=p)
+    l = bandwidth_mbps("lapi-enhanced", 65536, count=12, params=p)
+    return (l - n) / n
+
+
+@pytest.mark.parametrize("copy_mbps", COPY_RATES)
+def test_bandwidth_gap_vs_copy_rate(benchmark, copy_mbps):
+    g = benchmark.pedantic(lambda: gap_at(copy_mbps), rounds=1, iterations=1)
+    assert g > -0.15
+
+
+def test_gap_shrinks_with_faster_memory(benchmark):
+    gaps = benchmark.pedantic(
+        lambda: [gap_at(r) for r in COPY_RATES], rounds=1, iterations=1
+    )
+    # monotone (allowing tiny noise): slower memcpy -> bigger LAPI win
+    for a, b in zip(gaps, gaps[1:]):
+        assert b <= a + 0.02, gaps
+    assert gaps[0] > 0.15, "on 1998-class memory the win is large"
+    assert gaps[-1] < 0.10, "on fast memory the copy argument fades"
+
+
+def test_small_message_latency_insensitive_to_copy_rate(benchmark):
+    """Tiny messages are protocol-bound, not copy-bound: the crossover
+    region of Fig 11 barely moves with memcpy speed."""
+
+    def measure():
+        out = {}
+        for r in (150.0, 1600.0):
+            p = MachineParams(copy_bandwidth_MBps=r)
+            out[r] = pingpong_us("lapi-enhanced", 16, reps=6, params=p)
+        return out
+
+    t = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert abs(t[150.0] - t[1600.0]) < 2.0

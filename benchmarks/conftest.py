@@ -1,0 +1,19 @@
+"""pytest-benchmark configuration for the figure reproductions.
+
+Each benchmark measures the *wall-clock cost of regenerating* a figure
+data point (the simulator is deterministic, so the simulated-time
+results themselves are exact); the asserted shape checks are what tie
+the run back to the paper.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def shape_report():
+    """Collects per-figure shape-check results for the session summary."""
+    report: dict[str, list[str]] = {}
+    yield report
+    print("\n=== paper-shape checks ===")
+    for fig, problems in sorted(report.items()):
+        print(f"{fig}: {'OK' if not problems else '; '.join(problems)}")

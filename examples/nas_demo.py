@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Run NAS mini-kernels on a 4-node SP, native MPI vs MPI-LAPI.
+
+A condensed version of the paper's §6.2 table: two communication-bound
+kernels (IS, LU) where MPI-LAPI wins clearly and one compute-bound one
+(EP) where the stacks tie.  Every kernel verifies its numerics against
+a serial numpy reference before timing counts.
+
+Run:  python examples/nas_demo.py
+"""
+
+from repro import SPCluster
+from repro.nas import run_kernel
+
+
+def main():
+    print(f"{'kernel':>8} | {'native (us)':>12} | {'mpi-lapi (us)':>13} | "
+          f"{'improvement':>11} | verified")
+    print("-" * 66)
+    for kernel in ("is", "lu", "cg", "ep"):
+        times = {}
+        verified = True
+        for stack in ("native", "lapi-enhanced"):
+            cluster = SPCluster(4, stack=stack)
+            result = run_kernel(kernel, cluster)
+            verified &= all(o.verified for o in result.values)
+            times[stack] = result.elapsed_us
+        impr = 100.0 * (times["native"] - times["lapi-enhanced"]) / times["native"]
+        print(f"{kernel.upper():>8} | {times['native']:12.0f} | "
+              f"{times['lapi-enhanced']:13.0f} | {impr:10.1f}% | "
+              f"{'yes' if verified else 'NO'}")
+    print("\nIS/LU move lots of bytes / many small messages -> MPI-LAPI's")
+    print("copy avoidance and cheap completions pay; EP barely communicates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Trace the eager and rendezvous protocols through the stack.
+
+Sends one small (eager) and one large (rendezvous) message and prints
+the protocol counters each produced: early arrivals, header handlers,
+completion-handler styles, control traffic — the paper's Figs 3-9 as
+observable behaviour.
+
+Run:  python examples/protocol_trace.py
+"""
+
+from dataclasses import fields
+
+from repro import MachineParams, SPCluster
+
+
+def send_one(stack, size, late_receiver):
+    cluster = SPCluster(2, stack=stack)
+    payload = bytes(size)
+
+    def program(comm, rank, n):
+        if rank == 0:
+            yield from comm.send(payload, dest=1)
+            return None
+        if late_receiver:
+            yield from comm.probe(source=0)  # progress without a receive
+        buf = bytearray(size)
+        yield from comm.recv(buf, source=0)
+        assert bytes(buf) == payload
+        return None
+
+    result = cluster.run(program)
+    return result.stats
+
+
+INTERESTING = [
+    "eager_sends", "rendezvous_started", "early_arrivals",
+    "hdr_handlers_run", "cmpl_handlers_threaded", "cmpl_handlers_inline",
+    "copies", "bytes_copied", "packets_sent", "ctx_switches",
+]
+
+
+def show(title, stats):
+    print(f"\n--- {title}")
+    for name in INTERESTING:
+        v = getattr(stats, name)
+        if v:
+            print(f"    {name:24s} {v}")
+
+
+def timeline(stack, size):
+    """Print the actual event timeline of one message (trace subsystem)."""
+    cluster = SPCluster(2, stack=stack, trace=True)
+    payload = bytes(size)
+
+    def program(comm, rank, n):
+        if rank == 0:
+            yield from comm.send(payload, dest=1)
+            return None
+        buf = bytearray(size)
+        yield from comm.recv(buf, source=0)
+        return None
+
+    cluster.run(program)
+    interesting = ("amsend", "hdr_handler", "matched_posted", "early_arrival",
+                   "msg_complete", "cmpl_inline", "cmpl_queued_to_thread",
+                   "cmpl_thread_run", "rts_acked")
+    print(f"\n=== timeline: one {size}-byte message on {stack}")
+    for r in cluster.tracer.records:
+        if r.event in interesting:
+            print(f"    {r}")
+
+
+def main():
+    el = MachineParams().eager_limit
+    print(f"eager limit = {el} bytes (paper default)")
+    timeline("lapi-enhanced", 256)        # Fig 3: eager
+    timeline("lapi-enhanced", 3 * el)     # Figs 4-7: rendezvous
+    timeline("lapi-base", 256)            # the §5 thread hand-off, visible
+    show("eager, receive pre-posted (lapi-enhanced, 256 B)",
+         send_one("lapi-enhanced", 256, late_receiver=False))
+    show("eager, EARLY ARRIVAL (lapi-enhanced, 256 B, receiver late)",
+         send_one("lapi-enhanced", 256, late_receiver=True))
+    show("rendezvous (lapi-enhanced, 32 KiB)",
+         send_one("lapi-enhanced", 32 * 1024, late_receiver=False))
+    show("rendezvous on the Base variant: note the threaded completion "
+         "handlers\n    and context switches",
+         send_one("lapi-base", 32 * 1024, late_receiver=False))
+    show("the native stack, same 32 KiB: staging copies instead",
+         send_one("native", 32 * 1024, late_receiver=False))
+
+
+if __name__ == "__main__":
+    main()

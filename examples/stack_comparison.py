@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Compare all four MPI stacks (plus raw LAPI) like the paper's §5-§6.
+
+Prints a latency table across message sizes for:
+  raw LAPI, MPI-LAPI {base, counters, enhanced}, and the native MPI —
+the condensed story of Figures 10 and 11.
+
+Run:  python examples/stack_comparison.py
+"""
+
+from repro.bench.harness import pingpong_us, raw_lapi_pingpong_us
+
+SIZES = [4, 64, 1024, 16384]
+STACKS = ["native", "lapi-base", "lapi-counters", "lapi-enhanced"]
+
+
+def main():
+    header = f"{'size':>8} | {'raw-lapi':>10} | " + " | ".join(f"{s:>14}" for s in STACKS)
+    print(header)
+    print("-" * len(header))
+    for size in SIZES:
+        cells = [f"{raw_lapi_pingpong_us(size, reps=6):10.1f}"]
+        for stack in STACKS:
+            cells.append(f"{pingpong_us(stack, size, reps=6):14.1f}")
+        print(f"{size:>8} | " + " | ".join(cells))
+    print("\nReading the table (paper §5):")
+    print(" * base pays ~2 thread context switches per message (completion")
+    print("   handlers run on a separate thread),")
+    print(" * counters removes them for eager messages only,")
+    print(" * enhanced runs completion handlers in-context: ~raw LAPI + MPI")
+    print("   matching cost,")
+    print(" * native wins only below the small-message crossover.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""2-D heat-diffusion stencil on a Cartesian process grid.
+
+Demonstrates two extensions beyond the paper's core reproduction:
+
+* ``repro.mpi.topology.CartComm`` — MPI_Cart-style process grids with
+  neighbour shifts, and
+* the contention-aware **staged** (butterfly) switch fabric
+  (``MachineParams(fabric_model="staged")``).
+
+Four ranks in a 2x2 grid each own a block of the plate; every step they
+exchange halo rows/columns with grid neighbours and apply a Jacobi
+update.  The result is checked against a serial run of the same
+recursion.
+
+Run:  python examples/stencil_topology.py
+"""
+
+import numpy as np
+
+from repro import MachineParams, SPCluster
+from repro.mpi.topology import CartComm, dims_create
+
+N = 32          # global grid is N x N
+STEPS = 10
+ALPHA = 0.2
+
+
+def serial(steps=STEPS):
+    grid = np.zeros((N, N))
+    grid[0, :] = 1.0  # hot top edge
+    for _ in range(steps):
+        interior = grid[1:-1, 1:-1]
+        grid = grid.copy()
+        grid[1:-1, 1:-1] = interior + ALPHA * (
+            np.roll(grid, 1, 0)[1:-1, 1:-1] + np.roll(grid, -1, 0)[1:-1, 1:-1]
+            + np.roll(grid, 1, 1)[1:-1, 1:-1] + np.roll(grid, -1, 1)[1:-1, 1:-1]
+            - 4 * interior
+        )
+    return grid
+
+
+def program(comm, rank, size):
+    dims = dims_create(size, 2)
+    cart = CartComm(comm, dims)
+    pr, pc = cart.coords
+    bh, bw = N // dims[0], N // dims[1]
+    r0, c0 = pr * bh, pc * bw
+
+    full = np.zeros((N, N))
+    full[0, :] = 1.0
+    block = full[r0 : r0 + bh, c0 : c0 + bw].copy()
+    up = np.zeros(bw)
+    down = np.zeros(bw)
+    left = np.zeros(bh)
+    right = np.zeros(bh)
+
+    for _ in range(STEPS):
+        # halo exchanges along both dimensions (rows then columns)
+        yield from cart.neighbour_sendrecv(0, 1, block[-1].copy(), up, tag=1)
+        yield from cart.neighbour_sendrecv(0, -1, block[0].copy(), down, tag=2)
+        yield from cart.neighbour_sendrecv(1, 1, block[:, -1].copy(), left, tag=3)
+        yield from cart.neighbour_sendrecv(1, -1, block[:, 0].copy(), right, tag=4)
+
+        padded = np.zeros((bh + 2, bw + 2))
+        padded[1:-1, 1:-1] = block
+        padded[0, 1:-1] = up if pr > 0 else 0.0
+        padded[-1, 1:-1] = down if pr < dims[0] - 1 else 0.0
+        padded[1:-1, 0] = left if pc > 0 else 0.0
+        padded[1:-1, -1] = right if pc < dims[1] - 1 else 0.0
+
+        new = block + ALPHA * (
+            padded[:-2, 1:-1] + padded[2:, 1:-1]
+            + padded[1:-1, :-2] + padded[1:-1, 2:] - 4 * block
+        )
+        # physical boundary stays clamped
+        if pr == 0:
+            new[0] = block[0]
+        if pr == dims[0] - 1:
+            new[-1] = block[-1]
+        if pc == 0:
+            new[:, 0] = block[:, 0]
+        if pc == dims[1] - 1:
+            new[:, -1] = block[:, -1]
+        block = new
+
+    out = np.zeros((size, bh, bw))
+    yield from comm.gather(block, out if rank == 0 else None, root=0)
+    if rank == 0:
+        result = np.zeros((N, N))
+        for r in range(size):
+            rr, rc = cart.rank_to_coords(r)
+            result[rr * bh : (rr + 1) * bh, rc * bw : (rc + 1) * bw] = out[r]
+        return result
+    return None
+
+
+def main():
+    cluster = SPCluster(4, stack="lapi-enhanced",
+                        params=MachineParams(fabric_model="staged"))
+    res = cluster.run(program)
+    parallel = res.values[0]
+    reference = serial()
+    err = np.max(np.abs(parallel - reference))
+    print(f"2x2 process grid, {N}x{N} plate, {STEPS} Jacobi steps")
+    print(f"max |parallel - serial| = {err:.2e}  "
+          f"({'OK' if err < 1e-12 else 'MISMATCH'})")
+    print(f"simulated time: {res.elapsed_us:.0f} us on the staged fabric; "
+          f"fabric contention: {cluster.fabric.contention_us:.1f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro — MPI-LAPI: a full reproduction of *Implementing Efficient MPI
+on LAPI for IBM RS/6000 SP Systems* (Banikazemi, Govindaraju, Blackmore,
+Panda — IPPS 1999) on a simulated SP.
+
+Quickstart::
+
+    from repro import SPCluster
+
+    def pingpong(comm, rank, size):
+        import numpy as np
+        buf = np.zeros(1024, dtype=np.uint8)
+        if rank == 0:
+            yield from comm.send(buf, dest=1)
+            yield from comm.recv(buf, source=1)
+        else:
+            yield from comm.recv(buf, source=0)
+            yield from comm.send(buf, dest=0)
+
+    result = SPCluster(2, stack="lapi-enhanced").run(pingpong)
+    print(f"round trip: {result.elapsed_us:.1f} us")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from repro.cluster import RunResult, SPCluster, STACKS
+from repro.machine import MachineParams, NodeStats
+from repro.mpci import ANY_SOURCE, ANY_TAG
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MachineParams",
+    "NodeStats",
+    "RunResult",
+    "SPCluster",
+    "STACKS",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+Each ``figN`` module exposes ``rows()`` returning the figure's data
+series and a ``main()`` that prints them; ``python -m repro.bench.figN``
+reproduces the figure as a table.  ``pytest benchmarks/`` wraps the same
+code in pytest-benchmark targets.
+"""
+
+from repro.bench.harness import (
+    bandwidth_mbps,
+    interrupt_pingpong_us,
+    pingpong_us,
+    raw_lapi_pingpong_us,
+)
+
+__all__ = [
+    "bandwidth_mbps",
+    "interrupt_pingpong_us",
+    "pingpong_us",
+    "raw_lapi_pingpong_us",
+]

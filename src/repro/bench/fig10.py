@@ -1,0 +1,62 @@
+"""Figure 10: raw LAPI vs the three MPI-LAPI generations.
+
+Paper shape targets: Base ≫ Counters > Enhanced ≈ RAW LAPI; Counters
+tracks Enhanced in the eager range and Base in the rendezvous range
+(its counters only replace completion handlers for eager messages).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.figures import geometric_sizes, print_table, reps_for
+from repro.bench.harness import pingpong_us, raw_lapi_pingpong_us
+from repro.machine import MachineParams
+
+__all__ = ["rows", "main"]
+
+SERIES = ("raw-lapi", "lapi-base", "lapi-counters", "lapi-enhanced")
+
+
+def rows(sizes: Optional[list[int]] = None,
+         params: Optional[MachineParams] = None) -> list[dict]:
+    if sizes is None:
+        sizes = geometric_sizes(1, 1 << 20, 4)
+    out = []
+    for size in sizes:
+        reps = reps_for(size)
+        row = {"size": size}
+        row["raw-lapi"] = raw_lapi_pingpong_us(size, reps=reps, params=params)
+        for stack in ("lapi-base", "lapi-counters", "lapi-enhanced"):
+            row[stack] = pingpong_us(stack, size, reps=reps, params=params)
+        out.append(row)
+    return out
+
+
+def check_shape(data: list[dict]) -> list[str]:
+    """Return a list of shape violations (empty == reproduces the figure)."""
+    problems = []
+    for row in data:
+        s = row["size"]
+        if not row["lapi-base"] > row["lapi-enhanced"]:
+            problems.append(f"size {s}: base not slower than enhanced")
+        if not row["lapi-base"] >= row["lapi-counters"] * 0.999:
+            problems.append(f"size {s}: counters slower than base")
+        if not row["lapi-enhanced"] <= row["raw-lapi"] * 1.6:
+            problems.append(f"size {s}: enhanced too far above raw LAPI")
+    return problems
+
+
+def main() -> None:
+    data = rows()
+    print_table(
+        "Fig 10 — ping-pong time (us, one-way): raw LAPI vs MPI-LAPI variants",
+        ["size", *SERIES],
+        data,
+    )
+    problems = check_shape(data)
+    print("\nshape check:", "OK" if not problems else "; ".join(problems))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Figure 11: polling-mode latency — native MPI vs MPI-LAPI Enhanced.
+
+Shape targets: native slightly faster for very short messages (LAPI's
+exposed-interface parameter checking + its larger packet headers);
+MPI-LAPI faster beyond a small crossover, with the gap growing as the
+native stack's staging copies scale with message size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.figures import print_table, reps_for
+from repro.bench.harness import pingpong_us
+from repro.machine import MachineParams
+
+__all__ = ["rows", "main"]
+
+DEFAULT_SIZES = [1, 4, 16, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+
+
+def rows(sizes: Optional[list[int]] = None,
+         params: Optional[MachineParams] = None) -> list[dict]:
+    if sizes is None:
+        sizes = list(DEFAULT_SIZES)
+    out = []
+    for size in sizes:
+        reps = reps_for(size)
+        native = pingpong_us("native", size, reps=reps, params=params)
+        lapi = pingpong_us("lapi-enhanced", size, reps=reps, params=params)
+        out.append(
+            {
+                "size": size,
+                "native": native,
+                "lapi-enhanced": lapi,
+                "improvement_%": 100.0 * (native - lapi) / native,
+            }
+        )
+    return out
+
+
+def check_shape(data: list[dict]) -> list[str]:
+    problems = []
+    tiny = [r for r in data if r["size"] <= 16]
+    if not any(r["native"] <= r["lapi-enhanced"] for r in tiny):
+        problems.append("native not ahead for very short messages")
+    big = [r for r in data if r["size"] >= 1024]
+    for r in big:
+        if r["improvement_%"] <= 0:
+            problems.append(f"size {r['size']}: MPI-LAPI not ahead")
+    return problems
+
+
+def main() -> None:
+    data = rows()
+    print_table(
+        "Fig 11 — latency (us, one-way): native MPI vs MPI-LAPI Enhanced",
+        ["size", "native", "lapi-enhanced", "improvement_%"],
+        data,
+    )
+    problems = check_shape(data)
+    print("\nshape check:", "OK" if not problems else "; ".join(problems))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Figure 13: interrupt-mode latency — native MPI vs MPI-LAPI.
+
+The receiver posts MPI_Irecv and spins on the receive buffer's
+*contents*; all progress is interrupt-driven.  Shape target: MPI-LAPI
+is consistently and dramatically faster because the native interrupt
+handler dwells (hysteresis) hoping to coalesce interrupts, while LAPI's
+handler returns as soon as the FIFO is drained.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.figures import print_table
+from repro.bench.harness import interrupt_pingpong_us
+from repro.machine import MachineParams
+
+__all__ = ["rows", "main"]
+
+DEFAULT_SIZES = [1, 4, 16, 64, 256, 1024, 4096, 8192]
+
+
+def rows(sizes: Optional[list[int]] = None,
+         params: Optional[MachineParams] = None) -> list[dict]:
+    if sizes is None:
+        sizes = list(DEFAULT_SIZES)
+    out = []
+    for size in sizes:
+        n = interrupt_pingpong_us("native", size, params=params)
+        l = interrupt_pingpong_us("lapi-enhanced", size, params=params)
+        out.append(
+            {
+                "size": size,
+                "native": n,
+                "lapi-enhanced": l,
+                "speedup_x": n / l,
+            }
+        )
+    return out
+
+
+def check_shape(data: list[dict]) -> list[str]:
+    problems = []
+    for r in data:
+        if r["speedup_x"] < 1.3:
+            problems.append(
+                f"size {r['size']}: MPI-LAPI should win decisively "
+                f"(got {r['speedup_x']:.2f}x)"
+            )
+    return problems
+
+
+def main() -> None:
+    data = rows()
+    print_table(
+        "Fig 13 — interrupt-mode latency (us, one-way)",
+        ["size", "native", "lapi-enhanced", "speedup_x"],
+        data,
+    )
+    problems = check_shape(data)
+    print("\nshape check:", "OK" if not problems else "; ".join(problems))
+
+
+if __name__ == "__main__":
+    main()

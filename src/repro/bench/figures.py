@@ -1,0 +1,39 @@
+"""Shared helpers for the figure reproductions."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["geometric_sizes", "print_table", "reps_for"]
+
+
+def geometric_sizes(start: int = 1, stop: int = 1 << 20, factor: int = 4) -> list[int]:
+    """Message-size sweep like the paper's log-scale x axes."""
+    sizes = []
+    s = start
+    while s <= stop:
+        sizes.append(s)
+        s *= factor
+    return sizes
+
+
+def reps_for(size: int) -> int:
+    """Enough repetitions for stable numbers, fewer for huge messages."""
+    if size >= 256 * 1024:
+        return 3
+    if size >= 32 * 1024:
+        return 5
+    return 10
+
+
+def print_table(title: str, columns: Sequence[str], rows: Iterable[dict]) -> None:
+    print(f"\n{title}")
+    header = " | ".join(f"{c:>14}" for c in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        cells = []
+        for c in columns:
+            v = row[c]
+            cells.append(f"{v:>14.2f}" if isinstance(v, float) else f"{v:>14}")
+        print(" | ".join(cells))

@@ -1,0 +1,85 @@
+"""LogGP characterisation of the protocol stacks.
+
+Fits the classic LogGP parameters (Alexandrov et al.) from measured
+ping-pong times:
+
+* ``L_o`` — the combined latency + overhead constant (the zero-byte
+  one-way time, ``L + 2o`` in LogGP terms),
+* ``G``  — the gap per byte for long messages (inverse streaming
+  bandwidth as seen by one message),
+* ``g``  — the gap between messages (inverse small-message rate).
+
+The paper's story compresses nicely into these three numbers: MPI-LAPI
+pays a slightly larger ``L_o`` (exposed-interface checking, bigger
+headers) but a much smaller ``G`` (no staging copies), which is exactly
+why the curves cross.
+
+Run ``python -m repro.bench.loggp``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.bench.figures import print_table
+from repro.bench.harness import bandwidth_mbps, pingpong_us
+from repro.machine import MachineParams
+
+__all__ = ["fit", "rows", "main"]
+
+#: sizes used for the per-byte (G) fit — all well beyond the constant term
+_G_SIZES = [8192, 16384, 32768, 65536]
+#: small sizes used for the constant (L+2o) estimate
+_SMALL = [1, 4, 16]
+
+
+def fit(stack: str, params: Optional[MachineParams] = None) -> dict:
+    """Fit LogGP-style parameters for one stack (times in us, G in us/B)."""
+    small = [pingpong_us(stack, s, reps=8, params=params) for s in _SMALL]
+    L_o = float(np.mean(small))
+
+    ts = np.array([pingpong_us(stack, s, reps=5, params=params) for s in _G_SIZES])
+    ns = np.array(_G_SIZES, dtype=float)
+    # least squares for t = a + G*n
+    A = np.vstack([np.ones_like(ns), ns]).T
+    (a, G), *_ = np.linalg.lstsq(A, ts, rcond=None)
+
+    # g from the streaming small-message rate: time per 1-byte message
+    bw_small = bandwidth_mbps(stack, 64, count=32, params=params)
+    g = 64.0 / bw_small  # us per message at 64 B
+
+    return {
+        "stack": stack,
+        "L_plus_2o_us": L_o,
+        "G_us_per_byte": float(G),
+        "g_us_per_msg": float(g),
+        "eff_bw_MBps": 1.0 / float(G) if G > 0 else float("inf"),
+    }
+
+
+def rows(params: Optional[MachineParams] = None) -> list[dict]:
+    return [fit(stack, params) for stack in ("native", "lapi-enhanced")]
+
+
+def main() -> None:
+    data = rows()
+    print_table(
+        "LogGP fit: the paper's result as three numbers per stack",
+        ["stack", "L_plus_2o_us", "G_us_per_byte", "g_us_per_msg", "eff_bw_MBps"],
+        data,
+    )
+    native, lapi = data
+    print(
+        f"\nL+2o: MPI-LAPI pays +{lapi['L_plus_2o_us'] - native['L_plus_2o_us']:.2f} us "
+        "(parameter checking, bigger headers)"
+    )
+    print(
+        f"G:    native pays {native['G_us_per_byte'] / lapi['G_us_per_byte']:.2f}x "
+        "per byte (staging copies) — hence the Fig 11 crossover"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,150 @@
+"""LAPI primitive microbenchmarks (Table 1 operations, timed).
+
+Beyond the paper's figures: one-way/round-trip times of the raw LAPI
+operations — Amsend, Put, Get, Rmw — plus fence costs.  Useful for
+calibrating against the original LAPI paper's numbers and as a
+regression canary for the transport.
+
+Run ``python -m repro.bench.micro``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.figures import print_table
+from repro.cluster import SPCluster
+from repro.lapi.counters import Counter
+from repro.machine import MachineParams
+
+__all__ = ["rows", "main"]
+
+
+def _cluster(params):
+    return SPCluster(2, stack="raw-lapi", params=params)
+
+
+def amsend_oneway_us(size: int, reps: int = 10, params=None) -> float:
+    """Origin Amsend -> target counter observed (one-way, via ping-pong)."""
+    cluster = _cluster(params)
+    data = bytes(max(size, 1))
+
+    def program(lapi, rank, n):
+        lapi.register_handler("bench", lambda l, s, u, m: (None, None, None))
+        cid, cntr = lapi.create_counter()
+        yield from lapi.gfence("user")
+        t0 = lapi.env.now
+        for _ in range(reps):
+            if rank == 0:
+                yield from lapi.amsend("user", 1, "_lapi_null", {}, data,
+                                       tgt_cntr_id=cid)
+                yield from lapi.waitcntr("user", cntr, 1)
+            else:
+                yield from lapi.waitcntr("user", cntr, 1)
+                yield from lapi.amsend("user", 0, "_lapi_null", {}, data,
+                                       tgt_cntr_id=cid)
+        return (lapi.env.now - t0) / reps / 2.0 if rank == 0 else None
+
+    return cluster.run(program).values[0]
+
+
+def put_oneway_us(size: int, reps: int = 10, params=None) -> float:
+    from repro.bench.harness import raw_lapi_pingpong_us
+
+    return raw_lapi_pingpong_us(size, reps=reps, params=params)
+
+
+def get_roundtrip_us(size: int, reps: int = 8, params=None) -> float:
+    """LAPI_Get is inherently a round trip: request out, data back."""
+    cluster = _cluster(params)
+
+    def program(lapi, rank, n):
+        remote = bytearray(max(size, 1))
+        lapi.address_init("g", remote)
+        cid, fin = lapi.create_counter("fin")
+        yield from lapi.gfence("user")
+        if rank == 0:
+            local = bytearray(max(size, 1))
+            t0 = lapi.env.now
+            for _ in range(reps):
+                org = Counter(lapi.env, "org")
+                yield from lapi.get("user", 1, "g", 0, len(local), local,
+                                    org_cntr=org)
+                yield from lapi.waitcntr("user", org, 1)
+            t = (lapi.env.now - t0) / reps
+            # release the target from its dispatcher loop
+            yield from lapi.amsend("user", 1, "_lapi_null", {}, tgt_cntr_id=cid)
+            return t
+        # target: drive the dispatcher until told to stop
+        yield from lapi.waitcntr("user", fin, 1)
+        return None
+
+    return cluster.run(program).values[0]
+
+
+def rmw_roundtrip_us(reps: int = 8, params=None) -> float:
+    cluster = _cluster(params)
+
+    class Var:
+        value = 0
+
+    def program(lapi, rank, n):
+        lapi.address_init("v", Var())
+        _cid, fin = lapi.create_counter("fin")
+        yield from lapi.gfence("user")
+        if rank == 0:
+            t0 = lapi.env.now
+            for _ in range(reps):
+                prev = Counter(lapi.env, "prev")
+                yield from lapi.rmw("user", 1, "v", "FETCH_AND_ADD", 1,
+                                    prev_cntr=prev)
+                yield from lapi.waitcntr("user", prev, 1)
+            t = (lapi.env.now - t0) / reps
+            yield from lapi.amsend("user", 1, "_lapi_null", {}, tgt_cntr_id=_cid)
+            return t
+        yield from lapi.waitcntr("user", fin, 1)
+        return None
+
+    return cluster.run(program).values[0]
+
+
+def gfence_us(nodes: int = 4, params=None) -> float:
+    cluster = SPCluster(nodes, stack="raw-lapi", params=params)
+
+    def program(lapi, rank, n):
+        t0 = lapi.env.now
+        yield from lapi.gfence("user")
+        return lapi.env.now - t0
+
+    return max(cluster.run(program).values)
+
+
+def rows(params: Optional[MachineParams] = None) -> list[dict]:
+    out = []
+    for size in (8, 1024, 16384):
+        out.append({
+            "operation": f"Amsend {size}B (one-way)",
+            "time_us": amsend_oneway_us(size, params=params),
+        })
+        out.append({
+            "operation": f"Put {size}B (one-way)",
+            "time_us": put_oneway_us(size, params=params),
+        })
+    out.append({"operation": "Get 8B (round trip)",
+                "time_us": get_roundtrip_us(8, params=params)})
+    out.append({"operation": "Get 16KB (round trip)",
+                "time_us": get_roundtrip_us(16384, params=params)})
+    out.append({"operation": "Rmw fetch-and-add (round trip)",
+                "time_us": rmw_roundtrip_us(params=params)})
+    out.append({"operation": "Gfence (4 tasks)",
+                "time_us": gfence_us(params=params)})
+    return out
+
+
+def main() -> None:
+    print_table("LAPI primitive microbenchmarks (simulated us)",
+                ["operation", "time_us"], rows())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""§6.2 — NAS Parallel Benchmarks on 4 nodes: native MPI vs MPI-LAPI.
+
+Shape targets (paper): MPI-LAPI performs consistently at least as well
+as the native MPI; the communication-bound kernels (LU, IS, CG, BT, FT)
+improve clearly, while EP, MG and SP — dominated by local compute or by
+tiny-message halo traffic — move only a little.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.figures import print_table
+from repro.cluster import SPCluster
+from repro.machine import MachineParams
+from repro.nas import run_kernel
+
+__all__ = ["rows", "main", "KERNEL_ORDER"]
+
+KERNEL_ORDER = ("lu", "is", "cg", "bt", "ft", "ep", "mg", "sp")
+
+#: the paper's comm-bound / compute-bound grouping
+IMPROVERS = ("lu", "is", "cg", "bt", "ft")
+FLAT = ("ep", "mg", "sp")
+
+
+def run_one(kernel: str, stack: str, nodes: int = 4,
+            params: Optional[MachineParams] = None, seed: int = 0):
+    cluster = SPCluster(nodes, stack=stack, params=params, seed=seed)
+    result = run_kernel(kernel, cluster)
+    outcomes = result.values
+    if not all(o.verified for o in outcomes):
+        raise AssertionError(
+            f"{kernel} on {stack}: verification FAILED "
+            f"({[o.detail for o in outcomes]})"
+        )
+    return result.elapsed_us
+
+
+def rows(nodes: int = 4, params: Optional[MachineParams] = None) -> list[dict]:
+    out = []
+    for kernel in KERNEL_ORDER:
+        native = run_one(kernel, "native", nodes, params)
+        lapi = run_one(kernel, "lapi-enhanced", nodes, params)
+        out.append(
+            {
+                "kernel": kernel.upper(),
+                "native_us": native,
+                "mpi_lapi_us": lapi,
+                "improvement_%": 100.0 * (native - lapi) / native,
+            }
+        )
+    return out
+
+
+def check_shape(data: list[dict]) -> list[str]:
+    problems = []
+    by_kernel = {r["kernel"].lower(): r for r in data}
+    for k in KERNEL_ORDER:
+        if by_kernel[k]["improvement_%"] < -2.0:
+            problems.append(f"{k}: MPI-LAPI slower than native")
+    improver_avg = sum(by_kernel[k]["improvement_%"] for k in IMPROVERS) / len(IMPROVERS)
+    flat_avg = sum(by_kernel[k]["improvement_%"] for k in FLAT) / len(FLAT)
+    if improver_avg <= flat_avg:
+        problems.append(
+            f"comm-bound kernels should improve more "
+            f"({improver_avg:.1f}% vs {flat_avg:.1f}%)"
+        )
+    return problems
+
+
+def main() -> None:
+    data = rows()
+    print_table(
+        "§6.2 — NAS Parallel Benchmarks (4 nodes): execution time",
+        ["kernel", "native_us", "mpi_lapi_us", "improvement_%"],
+        data,
+    )
+    problems = check_shape(data)
+    print("\nshape check:", "OK" if not problems else "; ".join(problems))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Cluster assembly: build an N-node simulated SP with a chosen stack."""
+
+from repro.cluster.cluster import STACKS, RankResult, RunResult, SPCluster
+
+__all__ = ["RankResult", "RunResult", "SPCluster", "STACKS"]

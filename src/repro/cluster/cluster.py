@@ -1,0 +1,226 @@
+"""SPCluster: an N-node RS/6000 SP with one of the four protocol stacks.
+
+Stacks:
+
+- ``"native"``         MPI → MPCI → Pipes → HAL (paper Fig 1a)
+- ``"lapi-base"``      MPI → thin MPCI → LAPI, threaded completion handlers
+- ``"lapi-counters"``  as above, eager completions via target counters
+- ``"lapi-enhanced"``  LAPI extended with in-context completion handlers
+- ``"raw-lapi"``       no MPI layer: programs receive the Lapi object
+                       (used for the paper's RAW LAPI baseline in Fig 10)
+
+Usage::
+
+    cluster = SPCluster(4, stack="lapi-enhanced")
+
+    def program(comm, rank, size):
+        yield from comm.send(b"hello", dest=(rank + 1) % size)
+        ...
+
+    result = cluster.run(program)
+    print(result.elapsed_us, result.stats.copies)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.hal import Hal
+from repro.lapi import Lapi
+from repro.machine import Cpu, MachineParams, NodeStats
+from repro.machine.stats import aggregate
+from repro.mpi.api import Communicator
+from repro.mpi.backends import LapiBackend, NativeBackend
+from repro.network import Adapter, SwitchFabric
+from repro.pipes import PipeEndpoint
+from repro.sim import Environment, SimulationError
+
+__all__ = ["DeadlockError", "RankResult", "RunResult", "SPCluster", "STACKS"]
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained with ranks still blocked — a
+    communication deadlock.  The message names the stuck ranks."""
+
+STACKS = ("native", "lapi-base", "lapi-counters", "lapi-enhanced", "raw-lapi")
+
+
+@dataclass
+class RankResult:
+    rank: int
+    value: Any
+    finished_at: float
+
+
+@dataclass
+class RunResult:
+    """Outcome of one program run across all ranks."""
+
+    ranks: list[RankResult]
+    elapsed_us: float
+    stats: NodeStats  # aggregated over nodes
+
+    @property
+    def values(self) -> list[Any]:
+        return [r.value for r in self.ranks]
+
+
+class SPCluster:
+    """One simulated SP system."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        stack: str = "lapi-enhanced",
+        params: Optional[MachineParams] = None,
+        seed: int = 0,
+        interrupt_mode: bool = False,
+        trace: bool = False,
+    ):
+        if num_nodes < 1:
+            raise ValueError("need at least one node")
+        if stack not in STACKS:
+            raise ValueError(f"unknown stack {stack!r}; choose from {STACKS}")
+        self.num_nodes = num_nodes
+        self.stack = stack
+        self.params = params if params is not None else MachineParams()
+        self.params.validate()
+        self.interrupt_mode = interrupt_mode
+
+        self.env = Environment()
+        if self.params.fabric_model == "staged":
+            from repro.network.staged import StagedFabric
+
+            self.fabric = StagedFabric(
+                self.env, self.params, rng=np.random.default_rng(seed)
+            )
+        else:
+            self.fabric = SwitchFabric(
+                self.env, self.params, rng=np.random.default_rng(seed)
+            )
+        self.node_stats = [NodeStats() for _ in range(num_nodes)]
+        self.tracer = None
+        if trace:
+            from repro.trace import Tracer
+
+            self.tracer = Tracer(self.env)
+        for i, s in enumerate(self.node_stats):
+            s.node_id = i
+            if self.tracer is not None:
+                s.tracer = self.tracer
+        self.cpus = [
+            Cpu(self.env, self.params, self.node_stats[i], name=f"cpu{i}",
+                cores=self.params.cpus_per_node)
+            for i in range(num_nodes)
+        ]
+        self.adapters = [
+            Adapter(self.env, self.params, self.fabric, i, self.node_stats[i])
+            for i in range(num_nodes)
+        ]
+
+        header = (
+            self.params.native_header_bytes
+            if stack == "native"
+            else self.params.lapi_header_bytes
+        )
+        self.hals = [
+            Hal(self.env, self.cpus[i], self.adapters[i], self.params,
+                self.node_stats[i], header)
+            for i in range(num_nodes)
+        ]
+
+        self.lapis: list[Optional[Lapi]] = [None] * num_nodes
+        self.pipes: list[Optional[PipeEndpoint]] = [None] * num_nodes
+        self.backends = []
+
+        if stack == "native":
+            for i in range(num_nodes):
+                pipe = PipeEndpoint(self.env, self.cpus[i], self.hals[i],
+                                    self.params, self.node_stats[i])
+                self.pipes[i] = pipe
+                self.backends.append(
+                    NativeBackend(self.env, self.cpus[i], self.params,
+                                  self.node_stats[i], i, num_nodes, pipe)
+                )
+        elif stack == "raw-lapi":
+            for i in range(num_nodes):
+                self.lapis[i] = Lapi(
+                    self.env, self.cpus[i], self.hals[i], self.params,
+                    self.node_stats[i], task_id=i, num_tasks=num_nodes,
+                    enhanced=True,
+                )
+        else:
+            variant = stack.removeprefix("lapi-")
+            for i in range(num_nodes):
+                lapi = Lapi(
+                    self.env, self.cpus[i], self.hals[i], self.params,
+                    self.node_stats[i], task_id=i, num_tasks=num_nodes,
+                    enhanced=(variant == "enhanced"),
+                )
+                self.lapis[i] = lapi
+                self.backends.append(
+                    LapiBackend(self.env, self.cpus[i], self.params,
+                                self.node_stats[i], i, num_nodes, lapi, variant)
+                )
+            peers = {b.task_id: b for b in self.backends}
+            for b in self.backends:
+                b.wire(peers)
+
+        if interrupt_mode:
+            if stack == "raw-lapi":
+                for lapi in self.lapis:
+                    lapi.senv("INTERRUPT_SET", True)
+            else:
+                for b in self.backends:
+                    b.set_interrupt_mode(True)
+
+        self.comms: list[Optional[Communicator]] = [None] * num_nodes
+        if self.backends:
+            world = list(range(num_nodes))
+            self.comms = [
+                Communicator(self.backends[i], world, i) for i in range(num_nodes)
+            ]
+
+    # ------------------------------------------------------------------
+    def run(self, program: Callable, *args, **kwargs) -> RunResult:
+        """Run ``program(comm, rank, size, *args, **kwargs)`` on all ranks.
+
+        For the ``raw-lapi`` stack the program signature is
+        ``program(lapi, rank, size, *args, **kwargs)``.  A communication
+        deadlock surfaces as :class:`repro.sim.SimulationError` (the
+        event queue drains with ranks still blocked).
+        """
+        start = self.env.now
+        results: list[Optional[RankResult]] = [None] * self.num_nodes
+        procs = []
+        for rank in range(self.num_nodes):
+            handle = self.comms[rank] if self.stack != "raw-lapi" else self.lapis[rank]
+            procs.append(
+                self.env.process(
+                    self._wrap(program, handle, rank, results, args, kwargs),
+                    name=f"rank{rank}",
+                )
+            )
+        try:
+            self.env.run(until=self.env.all_of(procs))
+        except SimulationError as exc:
+            if "deadlock" not in str(exc):
+                raise
+            stuck = [r for r in range(self.num_nodes) if results[r] is None]
+            raise DeadlockError(
+                f"communication deadlock at t={self.env.now:.1f}us: "
+                f"rank(s) {stuck} never completed (every rank is blocked "
+                "waiting for a message or event that can no longer arrive)"
+            ) from exc
+        return RunResult(
+            ranks=[r for r in results],
+            elapsed_us=self.env.now - start,
+            stats=aggregate(self.node_stats),
+        )
+
+    def _wrap(self, program, handle, rank, results, args, kwargs):
+        value = yield from program(handle, rank, self.num_nodes, *args, **kwargs)
+        results[rank] = RankResult(rank=rank, value=value, finished_at=self.env.now)

@@ -1,0 +1,12 @@
+"""HAL — the packet layer (Hardware Abstraction Layer).
+
+Provides the packet interface both protocol stacks sit on: per-packet
+software send/receive costs, fragmentation of messages into switch
+packets, and the handshake with the adapter (including back-pressure
+from the bounded adapter FIFOs, which model the pinned HAL network
+buffers).
+"""
+
+from repro.hal.hal import Hal, fragment
+
+__all__ = ["Hal", "fragment"]

@@ -1,0 +1,23 @@
+"""LAPI — the Low-level Application Programming Interface.
+
+A faithful model of IBM's one-sided, reliable, active-message transport
+for the SP switch (Shah et al., IPPS 1998), including the pieces this
+paper's MPI port depends on:
+
+* ``LAPI_Amsend`` with **header handlers** (run on first-packet arrival,
+  must return the assembly buffer, must not call LAPI) and **completion
+  handlers** (run after the last byte lands — on a separate thread in
+  stock LAPI, in dispatcher context in the paper's *Enhanced* LAPI),
+* the three completion counters (origin, target, completion),
+* ``LAPI_Put``/``LAPI_Get``/``LAPI_Rmw`` one-sided operations,
+* ``LAPI_Waitcntr`` with polling progress, fences, and environment
+  query/set including interrupt-mode control,
+* reliable delivery (windows, cumulative acks, retransmission) that
+  tolerates — and does not reorder — the fabric's out-of-order packets:
+  payload is assembled by offset directly into the target buffer.
+"""
+
+from repro.lapi.api import Lapi, LapiError
+from repro.lapi.counters import Counter
+
+__all__ = ["Counter", "Lapi", "LapiError"]

@@ -1,0 +1,38 @@
+"""Target-buffer abstractions returned by header handlers.
+
+A header handler must hand LAPI a place to assemble the message.  The
+paper's point is that this can be the *user's* receive buffer (zero
+intermediate copy) or an early-arrival buffer — either way LAPI writes
+packets at their offset, tolerating out-of-order arrival.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ByteTarget", "NullTarget"]
+
+
+class ByteTarget:
+    """Assemble into a writable bytes-like object at a base offset."""
+
+    __slots__ = ("buf", "base")
+
+    def __init__(self, buf, base: int = 0):
+        self.buf = memoryview(buf)
+        if self.buf.readonly:
+            raise ValueError("target buffer must be writable")
+        self.base = base
+
+    def write(self, off: int, data: bytes) -> None:
+        if not data:
+            return
+        start = self.base + off
+        self.buf[start : start + len(data)] = data
+
+
+class NullTarget:
+    """Discard payload (header-only/control messages)."""
+
+    __slots__ = ()
+
+    def write(self, off: int, data: bytes) -> None:
+        pass

@@ -1,0 +1,13 @@
+"""Machine model: cost parameters, per-node CPU scheduling, statistics.
+
+The machine model is where simulated time comes from.  Every software
+action in the protocol stacks (copies, per-packet processing, matching,
+handler execution, context switches, interrupts) charges time through a
+:class:`Cpu`, parameterised by :class:`MachineParams`.
+"""
+
+from repro.machine.cpu import Cpu, INTERRUPT_CONTEXT
+from repro.machine.params import MachineParams
+from repro.machine.stats import NodeStats
+
+__all__ = ["Cpu", "INTERRUPT_CONTEXT", "MachineParams", "NodeStats"]

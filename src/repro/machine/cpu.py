@@ -1,0 +1,176 @@
+"""Per-node CPU(s) with thread-switch accounting.
+
+A node's software contexts (the user/MPI thread, the LAPI completion-
+handler thread, interrupt handlers) share the node's core(s).  Every
+timed software action runs inside :meth:`Cpu.execute`, which
+
+1. acquires a core (preferring the core the thread last ran on),
+2. charges a context-switch penalty if that core was last running a
+   *different* thread (the paper's §5 effect),
+3. advances simulated time by the service cost, and
+4. releases the core.
+
+Interrupt contexts are special-cased: entering one charges the
+interrupt overhead instead of a thread context switch, and the
+interrupted thread resumes without a switch charge (the hardware did
+the save/restore, folded into ``interrupt_overhead_us``).
+
+Uniprocessor SP nodes use ``cores=1`` (the default); the TBMX systems
+in the paper were 4-way SMPs, which ``MachineParams.cpus_per_node``
+models — on an SMP the completion-handler thread can run on its own
+core, which is exactly why the Base variant hurts less there (see
+``benchmarks/bench_ablation_smp.py``).
+
+Scheduling is non-preemptive per core and FIFO-fair across waiters.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, Optional
+
+from repro.machine.params import MachineParams
+from repro.machine.stats import NodeStats
+from repro.sim import Environment, Event
+
+#: thread-name prefix that marks an interrupt context
+INTERRUPT_CONTEXT = "irq"
+
+__all__ = ["Cpu", "INTERRUPT_CONTEXT"]
+
+
+class _Core:
+    __slots__ = ("index", "busy", "running", "last_thread", "preempted_thread")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.busy = False
+        self.running: Optional[str] = None
+        self.last_thread: Optional[str] = None
+        self.preempted_thread: Optional[str] = None
+
+
+class Cpu:
+    """The processor(s) shared by one node's software contexts."""
+
+    def __init__(
+        self,
+        env: Environment,
+        params: MachineParams,
+        stats: NodeStats,
+        name: str = "cpu",
+        cores: int = 1,
+    ):
+        if cores < 1:
+            raise ValueError("need at least one core")
+        self.env = env
+        self.params = params
+        self.stats = stats
+        self.name = name
+        self._cores = [_Core(i) for i in range(cores)]
+        self._waiters: deque[Event] = deque()
+        #: cumulative busy time across cores (utilisation statistic)
+        self.busy_us: float = 0.0
+
+    @property
+    def cores(self) -> int:
+        return len(self._cores)
+
+    # ------------------------------------------------------------------
+    def execute(self, thread: str, cost_us: float) -> Generator:
+        """Run ``cost_us`` of work attributed to ``thread``.
+
+        Generator: ``yield from cpu.execute("user", 1.5)``.
+        """
+        core = self._try_acquire(thread)
+        if core is None:
+            ev = self.env.event()
+            self._waiters.append((ev, thread))
+            core = yield ev  # hand-off: the releaser granted us this core
+        try:
+            switch = self._switch_penalty(core, thread)
+            total = switch + max(0.0, cost_us)
+            if total > 0.0:
+                yield self.env.timeout(total)
+            self.busy_us += total
+        finally:
+            core.last_thread = thread
+            self._release(core)
+
+    def memcpy(self, thread: str, nbytes: int) -> Generator:
+        """Charge a host memory copy of ``nbytes`` and record it."""
+        self.stats.record_copy(nbytes)
+        yield from self.execute(thread, self.params.copy_cost(nbytes))
+
+    # ------------------------------------------------------------------
+    def _try_acquire(self, thread: str) -> Optional[_Core]:
+        # FIFO fairness: newcomers queue behind *eligible* waiters (this
+        # is what prevents a polling loop from starving handler contexts;
+        # waiters blocked only by a same-name conflict don't block others)
+        if self._waiters:
+            running_now = {c.running for c in self._cores if c.busy}
+            if any(t not in running_now for _ev, t in self._waiters):
+                return None
+        # one OS thread cannot occupy two cores: same-named sections
+        # (e.g. the user program and LAPI engine work attributed to the
+        # user thread) serialise
+        if any(c.busy and c.running == thread for c in self._cores):
+            return None
+        free = [c for c in self._cores if not c.busy]
+        if not free:
+            return None
+        # affinity first (no switch), then a never-used core, then any
+        chosen = None
+        for c in free:
+            if c.last_thread == thread:
+                chosen = c
+                break
+        if chosen is None:
+            for c in free:
+                if c.last_thread is None:
+                    chosen = c
+                    break
+        if chosen is None:
+            chosen = free[0]
+        chosen.busy = True
+        chosen.running = thread
+        return chosen
+
+    def _release(self, core: _Core) -> None:
+        core.busy = False
+        core.running = None
+        # hand the core to the first waiter whose thread is not already
+        # running elsewhere (FIFO among the eligible)
+        running_now = {c.running for c in self._cores if c.busy}
+        for i, (ev, thread) in enumerate(self._waiters):
+            if thread not in running_now:
+                del self._waiters[i]
+                core.busy = True
+                core.running = thread
+                ev.succeed(core)
+                return
+
+    def _switch_penalty(self, core: _Core, thread: str) -> float:
+        """Penalty for running ``thread`` on ``core`` next."""
+        if thread.startswith(INTERRUPT_CONTEXT):
+            if core.last_thread == thread:
+                # Same interrupt context continuing; entry already charged.
+                return 0.0
+            if core.last_thread is not None and not core.last_thread.startswith(
+                INTERRUPT_CONTEXT
+            ):
+                core.preempted_thread = core.last_thread
+            self.stats.interrupts += 1
+            return self.params.interrupt_overhead_us
+
+        if core.last_thread == thread:
+            return 0.0
+        if core.preempted_thread == thread:
+            # Returning from interrupt to the thread it preempted: the
+            # restore cost is part of interrupt_overhead_us.
+            core.preempted_thread = None
+            return 0.0
+        if core.last_thread is None:
+            return 0.0
+        self.stats.ctx_switches += 1
+        return self.params.ctx_switch_us

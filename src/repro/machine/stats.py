@@ -1,0 +1,86 @@
+"""Per-node statistics counters.
+
+Every layer increments these as it works; tests and EXPERIMENTS.md use
+them to verify *structural* claims (e.g. MPI-LAPI performs strictly
+fewer buffer copies per byte than the native stack, native MPI takes
+hysteresis dwells in interrupt mode, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class NodeStats:
+    """Counters for one simulated node.
+
+    A :class:`repro.trace.Tracer` may be attached as the (non-dataclass)
+    ``tracer`` attribute; layers emit structured events through
+    :meth:`trace`, which is a no-op when tracing is off.
+    """
+
+    #: class-level defaults; SPCluster sets instance attributes
+    tracer = None
+    node_id = -1
+
+    # memory traffic
+    copies: int = 0
+    bytes_copied: int = 0
+    # adapter traffic
+    packets_sent: int = 0
+    packets_received: int = 0
+    bytes_on_wire: int = 0
+    packets_dropped: int = 0
+    retransmissions: int = 0
+    acks_sent: int = 0
+    # CPU events
+    ctx_switches: int = 0
+    interrupts: int = 0
+    hysteresis_dwells: int = 0
+    polls: int = 0
+    # LAPI activity
+    hdr_handlers_run: int = 0
+    cmpl_handlers_threaded: int = 0
+    cmpl_handlers_inline: int = 0
+    # MPI activity
+    msgs_sent: int = 0
+    msgs_received: int = 0
+    early_arrivals: int = 0
+    matches_posted: int = 0
+    rendezvous_started: int = 0
+    eager_sends: int = 0
+    #: first packets whose matching was deferred to preserve MPI's
+    #: non-overtaking rule after overtaking in the fabric
+    deferred_announcements: int = 0
+
+    def record_copy(self, nbytes: int) -> None:
+        self.copies += 1
+        self.bytes_copied += nbytes
+
+    def trace(self, layer: str, event: str, **fields) -> None:
+        """Emit a structured trace event (no-op unless a tracer is set)."""
+        if self.tracer is not None:
+            self.tracer.emit(self.node_id, layer, event, **fields)
+
+    def merged_with(self, other: "NodeStats") -> "NodeStats":
+        """Element-wise sum (for cluster-level aggregation)."""
+        out = NodeStats()
+        for f in fields(self):
+            setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return out
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def aggregate(stats: list[NodeStats]) -> NodeStats:
+    """Sum a list of :class:`NodeStats`."""
+    total = NodeStats()
+    for s in stats:
+        total = total.merged_with(s)
+    return total
+
+
+# re-export field for dataclass introspection users
+__all__ = ["NodeStats", "aggregate", "field"]

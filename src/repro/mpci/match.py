@@ -1,0 +1,123 @@
+"""Envelope matching: posted receives, early arrivals, wildcards, order.
+
+MPI's non-overtaking rule: between one (sender, receiver, communicator)
+pair, messages must be matched in the order they were sent.  Both queues
+here preserve insertion order and search linearly from the front, which
+(together with the backends announcing arrivals in per-source send
+order) implements that rule.  Linear search is also what the real MPCI
+did — the paper's §5.3 attributes part of MPI-LAPI's remaining overhead
+to "the cost of posting and matching receives"; callers charge
+``match_base_us + inspected * match_per_entry_us``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple, Optional
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "EarlyArrivalQueue",
+    "Envelope",
+    "PostedReceiveQueue",
+    "envelope_matches",
+]
+
+#: wildcard source rank for receives
+ANY_SOURCE = -1
+#: wildcard tag for receives
+ANY_TAG = -1
+
+
+class Envelope(NamedTuple):
+    """The matching triple carried by every message's first packet."""
+
+    context: int  # communicator context id
+    src: int  # sender's rank in that communicator
+    tag: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Envelope(ctx={self.context}, src={self.src}, tag={self.tag})"
+
+
+def envelope_matches(context: int, src_pattern: int, tag_pattern: int, env: Envelope) -> bool:
+    """Does a receive pattern match a message envelope?"""
+    if env.context != context:
+        return False
+    if src_pattern != ANY_SOURCE and env.src != src_pattern:
+        return False
+    if tag_pattern != ANY_TAG and env.tag != tag_pattern:
+        return False
+    return True
+
+
+class PostedReceiveQueue:
+    """Receives posted before their message arrived."""
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[int, int, int, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def post(self, context: int, src_pattern: int, tag_pattern: int, handle: Any) -> None:
+        self._entries.append((context, src_pattern, tag_pattern, handle))
+
+    def match(self, env: Envelope) -> tuple[Optional[Any], int]:
+        """Find (and remove) the first posted receive matching ``env``.
+
+        Returns ``(handle_or_None, entries_inspected)``.
+        """
+        for i, (ctx, srcp, tagp, handle) in enumerate(self._entries):
+            if envelope_matches(ctx, srcp, tagp, env):
+                del self._entries[i]
+                return handle, i + 1
+        return None, len(self._entries)
+
+    def remove(self, handle: Any) -> bool:
+        """Cancel a posted receive (MPI_Cancel support)."""
+        for i, entry in enumerate(self._entries):
+            if entry[3] is handle:
+                del self._entries[i]
+                return True
+        return False
+
+
+class EarlyArrivalQueue:
+    """Messages that arrived before a matching receive was posted.
+
+    Entries are kept in arrival order, which — because each backend
+    announces messages in per-source send order — is a legal matching
+    order under the non-overtaking rule.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[Envelope, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, env: Envelope, handle: Any) -> None:
+        self._entries.append((env, handle))
+
+    def match(
+        self, context: int, src_pattern: int, tag_pattern: int
+    ) -> tuple[Optional[tuple[Envelope, Any]], int]:
+        """Find (and remove) the first early arrival matching the pattern.
+
+        Returns ``((envelope, handle) or None, entries_inspected)``.
+        """
+        for i, (env, handle) in enumerate(self._entries):
+            if envelope_matches(context, src_pattern, tag_pattern, env):
+                del self._entries[i]
+                return (env, handle), i + 1
+        return None, len(self._entries)
+
+    def peek_match(
+        self, context: int, src_pattern: int, tag_pattern: int
+    ) -> tuple[Optional[tuple[Envelope, Any]], int]:
+        """Like :meth:`match` but non-destructive (MPI_Probe support)."""
+        for i, (env, handle) in enumerate(self._entries):
+            if envelope_matches(context, src_pattern, tag_pattern, env):
+                return (env, handle), i + 1
+        return None, len(self._entries)

@@ -1,0 +1,12 @@
+"""Transport backends for the MPI layer.
+
+``native``   — MPCI over Pipes (the stack the paper competes against).
+``lapi-*``   — MPCI over LAPI in the paper's three generations:
+               ``lapi-base``, ``lapi-counters``, ``lapi-enhanced``.
+"""
+
+from repro.mpi.backends.base import Backend, InMsg
+from repro.mpi.backends.lapi_backend import LapiBackend
+from repro.mpi.backends.native import NativeBackend
+
+__all__ = ["Backend", "InMsg", "LapiBackend", "NativeBackend"]

@@ -1,0 +1,227 @@
+"""Shared backend machinery: matching flow, early arrivals, buffered mode.
+
+Terminology: the *task* is the transport endpoint (node id); *rank* is a
+position within a communicator.  The backend speaks tasks for routing
+and ranks for matching envelopes (an envelope's ``src`` is the sender's
+rank in the message's communicator).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator, Optional
+
+from repro.machine.cpu import Cpu
+from repro.machine.params import MachineParams
+from repro.machine.stats import NodeStats
+from repro.mpci import EarlyArrivalQueue, Envelope, PostedReceiveQueue
+from repro.mpi.protocol import select_protocol
+from repro.mpi.request import Request
+from repro.sim import Environment, Event
+
+__all__ = ["Backend", "InMsg", "MpiFatal", "PendingSend"]
+
+
+class MpiFatal(RuntimeError):
+    """Fatal MPI error (e.g. Ready-mode send with no posted receive —
+    the paper's Fig. 3 raises a fatal error and terminates the job)."""
+
+
+class InMsg:
+    """Receiver-side state for one incoming point-to-point message."""
+
+    __slots__ = (
+        "envelope",
+        "src_task",
+        "mseq",
+        "size",
+        "proto",  # "eager" | "rts" | "rdata"
+        "mode",
+        "sid",
+        "want_bfree",
+        "ea_buf",
+        "req",
+        "assembled",
+        "matched",
+    )
+
+    def __init__(self, envelope: Envelope, src_task: int, mseq: int, size: int,
+                 proto: str, mode: str, sid: int, want_bfree: bool):
+        self.envelope = envelope
+        self.src_task = src_task
+        self.mseq = mseq
+        self.size = size
+        self.proto = proto
+        self.mode = mode
+        self.sid = sid
+        self.want_bfree = want_bfree
+        self.ea_buf: Optional[bytearray] = None
+        self.req: Optional[Request] = None
+        self.assembled = False
+        self.matched = False
+
+
+class PendingSend:
+    """Origin-side state for one rendezvous send awaiting its ack."""
+
+    __slots__ = ("data", "dst_task", "uhdr", "req", "blocking", "acked", "waiter",
+                 "recv_slot")
+
+    def __init__(self, data: bytes, dst_task: int, uhdr: dict, req: Request,
+                 blocking: bool):
+        self.data = data
+        self.dst_task = dst_task
+        self.uhdr = uhdr
+        self.req = req
+        self.blocking = blocking
+        self.acked = False
+        self.waiter: Optional[Event] = None
+        self.recv_slot: Optional[int] = None
+
+
+class Backend:
+    """Common state + helpers; concrete backends add the transport."""
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        env: Environment,
+        cpu: Cpu,
+        params: MachineParams,
+        stats: NodeStats,
+        task_id: int,
+        num_tasks: int,
+    ):
+        self.env = env
+        self.cpu = cpu
+        self.params = params
+        self.stats = stats
+        self.task_id = task_id
+        self.num_tasks = num_tasks
+
+        self.posted = PostedReceiveQueue()
+        self.early = EarlyArrivalQueue()
+        self._send_ids = itertools.count()
+        self._mseq_next: dict[int, int] = {}  # per-destination send order
+        self.pending_sends: dict[int, PendingSend] = {}
+        #: (src_task, sid) -> recv Request bound to an incoming rdata
+        self.bound_recvs: dict[tuple[int, int], Request] = {}
+
+        # MPI_Buffer_attach accounting
+        self._attach_capacity = 0
+        self._attach_used = 0
+        self._attach_waiters: list[Event] = []
+        #: sid -> bytes to release when the bfree notification arrives
+        self._attach_outstanding: dict[int, int] = {}
+
+        # early-arrival buffer accounting
+        self._ea_used = 0
+
+    # ------------------------------------------------------ buffered mode
+    def attach_buffer(self, nbytes: int) -> None:
+        """MPI_Buffer_attach."""
+        if self._attach_capacity:
+            raise MpiFatal("a buffer is already attached")
+        if nbytes <= 0:
+            raise ValueError("attach size must be positive")
+        self._attach_capacity = nbytes
+        self._attach_used = 0
+
+    def detach_buffer(self) -> int:
+        """MPI_Buffer_detach: returns the detached capacity."""
+        cap = self._attach_capacity
+        self._attach_capacity = 0
+        self._attach_used = 0
+        return cap
+
+    def _reserve_attached(self, nbytes: int, sid: int) -> None:
+        if nbytes > self._attach_capacity - self._attach_used:
+            raise MpiFatal(
+                f"buffered send of {nbytes}B exceeds attached buffer space "
+                f"({self._attach_capacity - self._attach_used}B free)"
+            )
+        self._attach_used += nbytes
+        self._attach_outstanding[sid] = nbytes
+
+    def _release_attached(self, sid: int) -> None:
+        nbytes = self._attach_outstanding.pop(sid, 0)
+        self._attach_used -= nbytes
+        waiters, self._attach_waiters = self._attach_waiters, []
+        for ev in waiters:
+            if not ev.triggered:
+                ev.succeed()
+
+    # ------------------------------------------------------- EA buffers
+    def _alloc_ea(self, size: int) -> bytearray:
+        if self._ea_used + size > self.params.early_arrival_bytes:
+            raise MpiFatal(
+                f"early-arrival buffer exhausted ({self._ea_used + size}B > "
+                f"{self.params.early_arrival_bytes}B); raise eager_limit "
+                "discipline or early_arrival_bytes"
+            )
+        self._ea_used += size
+        self.stats.early_arrivals += 1
+        return bytearray(size)
+
+    def _free_ea(self, size: int) -> None:
+        self._ea_used -= size
+
+    # ---------------------------------------------------------- helpers
+    def next_mseq(self, dst_task: int) -> int:
+        n = self._mseq_next.get(dst_task, 0)
+        self._mseq_next[dst_task] = n + 1
+        return n
+
+    def next_sid(self) -> int:
+        return next(self._send_ids)
+
+    def match_cost(self, inspected: int) -> float:
+        p = self.params
+        return p.match_base_us + inspected * p.match_per_entry_us
+
+    def select_protocol(self, mode: str, size: int) -> str:
+        return select_protocol(mode, size, self.params.eager_limit)
+
+    # ------------------------------------------------- abstract surface
+    def isend(self, thread, data, dst_task, src_rank, tag, context, mode,
+              blocking=False) -> Generator:
+        raise NotImplementedError
+
+    def irecv(self, thread, view, src_pattern, tag_pattern, context) -> Generator:
+        raise NotImplementedError
+
+    def progress(self, thread: str) -> Generator:
+        raise NotImplementedError
+
+    def wait_rx(self) -> Event:
+        raise NotImplementedError
+
+    def set_interrupt_mode(self, enabled: bool) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------ wait loop
+    def wait(self, thread: str, req: Request) -> Generator:
+        """Drive progress until ``req`` completes (polling discipline)."""
+        while True:
+            if req.needs_finalize:
+                yield from req.run_finalizer(thread)
+            if req.done:
+                return req.status
+            progressed = yield from self.progress(thread)
+            if req.done or req.needs_finalize:
+                continue
+            if progressed:
+                continue
+            self.stats.polls += 1
+            yield from self.cpu.execute(thread, self.params.poll_check_us)
+            if req.done or req.needs_finalize:
+                continue
+            yield self.env.any_of([self.wait_rx(), req.changed()])
+
+    def test(self, thread: str, req: Request) -> Generator:
+        """Single progress pass; returns True if the request completed."""
+        yield from self.progress(thread)
+        if req.needs_finalize:
+            yield from req.run_finalizer(thread)
+        return req.done

@@ -1,0 +1,478 @@
+"""MPI-LAPI: the paper's new stack (Figs. 3–9) in its three generations.
+
+Variant semantics (paper §4–5):
+
+``base``
+    Every message completion — marking a receive complete, acknowledging
+    a request-to-send, launching rendezvous data after the ack — runs in
+    a LAPI *completion handler* on its separate thread, paying a context
+    switch each way.
+
+``counters``
+    Eager-protocol data completions are signalled through LAPI *target
+    counters* whose addresses were exchanged at initialisation; the
+    dispatcher increments them in-context, so no thread switch.  The
+    rendezvous control steps still need completion handlers (receiving a
+    request-to-send does not mean the data may be sent, §5.2).
+
+``enhanced``
+    LAPI is extended to run predefined completion handlers in the
+    dispatcher's own context (§5.3); nothing pays the thread switch.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, Optional
+
+from repro.lapi import Lapi
+from repro.lapi.buffers import ByteTarget, NullTarget
+from repro.lapi.counters import Counter
+from repro.mpci import Envelope
+from repro.mpi.backends.base import Backend, InMsg, MpiFatal, PendingSend
+from repro.mpi.protocol import BUFFERED, EAGER, READY
+from repro.mpi.request import Request
+from repro.sim import Event, Store
+
+__all__ = ["LapiBackend", "VARIANTS"]
+
+VARIANTS = ("base", "counters", "enhanced")
+
+
+class _Slot:
+    """One completion-counter pool slot (Counters variant)."""
+
+    __slots__ = ("backend", "cid", "cntr", "fifo", "_busy")
+
+    def __init__(self, backend: "LapiBackend", cid: int, cntr: Counter):
+        self.backend = backend
+        self.cid = cid
+        self.cntr = cntr
+        self.fifo: deque[InMsg] = deque()
+        self._busy = False
+        cntr.subscribe(self._on_change)
+
+    def bind(self, msg: InMsg) -> None:
+        self.fifo.append(msg)
+        self._drain()
+
+    def _on_change(self, _cntr: Counter) -> None:
+        self._drain()
+
+    def _drain(self) -> None:
+        if self._busy:
+            return
+        self._busy = True
+        try:
+            while self.cntr.value > 0 and self.fifo:
+                self.cntr.sub(1)
+                self.backend._on_data_complete(self.fifo.popleft())
+        finally:
+            self._busy = False
+
+
+class LapiBackend(Backend):
+    """MPCI-thin over LAPI (paper Fig. 1c)."""
+
+    def __init__(self, env, cpu, params, stats, task_id, num_tasks,
+                 lapi: Lapi, variant: str = "enhanced"):
+        super().__init__(env, cpu, params, stats, task_id, num_tasks)
+        if variant not in VARIANTS:
+            raise ValueError(f"unknown MPI-LAPI variant {variant!r}")
+        if variant == "enhanced" and not lapi.enhanced:
+            raise ValueError("enhanced variant requires an enhanced LAPI")
+        if variant != "enhanced" and lapi.enhanced:
+            raise ValueError(f"{variant} variant must run on stock LAPI")
+        self.lapi = lapi
+        self.variant = variant
+        self.name = f"lapi-{variant}"
+
+        # matching-order state (announcements processed in per-source
+        # send order so MPI's non-overtaking rule survives packet races)
+        self._expected: dict[int, int] = {}
+        self._pending_ann: dict[int, dict[int, InMsg]] = {}
+
+        # Counters variant: per-source completion-counter pools
+        self._pools: dict[int, list[_Slot]] = {}
+        self._slot_by_id: dict[int, _Slot] = {}
+        if variant == "counters":
+            for src in range(num_tasks):
+                if src == task_id:
+                    continue
+                slots = []
+                for k in range(params.counter_pool_slots):
+                    cid, cntr = lapi.create_counter(f"pool[{src}][{k}]")
+                    slot = _Slot(self, cid, cntr)
+                    self._slot_by_id[cid] = slot
+                    slots.append(slot)
+                self._pools[src] = slots
+        #: sender-side view of each peer's pool counter ids (filled by wire())
+        self._peer_slot_ids: dict[int, list[int]] = {}
+
+        self._ctrlq = Store(env, name=f"be{task_id}.ctrl")
+        env.process(self._ctrl_engine(), name=f"be{task_id}.ctrl")
+
+        lapi.register_handler("mpi_eager", self._hh_eager)
+        lapi.register_handler("mpi_rts", self._hh_rts)
+        lapi.register_handler("mpi_rts_ack", self._hh_rts_ack)
+        lapi.register_handler("mpi_rdata", self._hh_rdata)
+        lapi.register_handler("mpi_bfree", self._hh_bfree)
+
+    # ------------------------------------------------------------ wiring
+    def wire(self, peers: dict[int, "LapiBackend"]) -> None:
+        """Exchange counter-pool addresses (paper §5.2: done at init)."""
+        if self.variant != "counters":
+            return
+        for dst, peer in peers.items():
+            if dst == self.task_id:
+                continue
+            self._peer_slot_ids[dst] = [s.cid for s in peer._pools[self.task_id]]
+
+    # ---------------------------------------------------------- plumbing
+    def progress(self, thread: str) -> Generator:
+        return (yield from self.lapi.dispatch(thread))
+
+    def wait_rx(self) -> Event:
+        return self.lapi.hal.wait_rx()
+
+    def set_interrupt_mode(self, enabled: bool) -> None:
+        self.lapi.senv("INTERRUPT_SET", enabled)
+
+    def _ctrl_engine(self) -> Generator:
+        """Sends control messages queued from synchronous contexts."""
+        while True:
+            dst, hh, uhdr = yield self._ctrlq.get()
+            yield from self.lapi.amsend("user", dst, hh, uhdr)
+
+    # ------------------------------------------------------------- sends
+    def isend(self, thread, data: bytes, dst_task: int, src_rank: int, tag: int,
+              context: int, mode: str, blocking: bool = False) -> Generator:
+        p = self.params
+        yield from self.cpu.execute(thread, p.mpi_call_us + p.mpi_lock_us)
+        req = Request(self.env, "send")
+        size = len(data)
+        proto = self.select_protocol(mode, size)
+        sid = self.next_sid()
+        mseq = self.next_mseq(dst_task)
+        want_bfree = mode == BUFFERED
+        if want_bfree:
+            # Fig 8: copy the message into the user-attached buffer first
+            self._reserve_attached(size, sid)
+            yield from self.cpu.memcpy(thread, size)
+        self.stats.msgs_sent += 1
+
+        uhdr = {
+            "ctx": context,
+            "srank": src_rank,
+            "tag": tag,
+            "mseq": mseq,
+            "size": size,
+            "mode": mode,
+            "sid": sid,
+            "bfree": want_bfree,
+        }
+
+        if proto == EAGER:
+            self.stats.eager_sends += 1
+            uhdr["t"] = "eager"
+            tgt_cntr_id = None
+            if self.variant == "counters":
+                pool = self._peer_slot_ids[dst_task]
+                tgt_cntr_id = pool[mseq % len(pool)]
+            org = Counter(self.env, "org")
+            yield from self.lapi.amsend(
+                thread, dst_task, "mpi_eager", uhdr, data,
+                tgt_cntr_id=tgt_cntr_id, org_cntr=org,
+            )
+            if want_bfree:
+                req.complete(count=size)  # library owns the staged copy
+            else:
+                org.changed()._add_callback(
+                    lambda _e: req.complete(count=size) if not req.done else None
+                )
+        else:
+            self.stats.rendezvous_started += 1
+            uhdr["t"] = "rts"
+            uhdr["blocking"] = blocking and not want_bfree
+            ps = PendingSend(data, dst_task, uhdr, req, uhdr["blocking"])
+            self.pending_sends[sid] = ps
+            yield from self.lapi.amsend(thread, dst_task, "mpi_rts", uhdr)
+            if want_bfree:
+                req.complete(count=size)
+            if ps.blocking:
+                # Fig 6: wait for the ack here, then push the data from
+                # the user thread
+                yield from self._wait_acked(thread, ps)
+                yield from self._launch_rdata(thread, ps)
+        return req
+
+    def _wait_acked(self, thread: str, ps: PendingSend) -> Generator:
+        while not ps.acked:
+            progressed = yield from self.progress(thread)
+            if ps.acked:
+                break
+            if progressed:
+                continue
+            self.stats.polls += 1
+            yield from self.cpu.execute(thread, self.params.poll_check_us)
+            if ps.acked:
+                break
+            ev = self.env.event()
+            ps.waiter = ev
+            yield self.env.any_of([self.wait_rx(), ev])
+
+    def _launch_rdata(self, thread: str, ps: PendingSend) -> Generator:
+        """Second rendezvous phase: ship the message like an eager send."""
+        sid = ps.uhdr["sid"]
+        org = Counter(self.env, "org")
+        yield from self.lapi.amsend(
+            thread,
+            ps.dst_task,
+            "mpi_rdata",
+            {"sid": sid, "slot": ps.recv_slot, "size": len(ps.data),
+             "bfree": ps.uhdr["bfree"]},
+            ps.data,
+            tgt_cntr_id=ps.recv_slot,
+            org_cntr=org,
+        )
+        req = ps.req
+        if not req.done:
+            n = len(ps.data)
+            org.changed()._add_callback(
+                lambda _e: req.complete(count=n) if not req.done else None
+            )
+        self.pending_sends.pop(sid, None)
+
+    def _cmpl_launch_rdata(self, lapi: Lapi, thread: str, ps: PendingSend) -> Generator:
+        """Fig 7: nonblocking rendezvous data launched from the completion
+        handler of the rts-ack message."""
+        yield from self._launch_rdata(thread, ps)
+
+    # ----------------------------------------------------------- receives
+    def irecv(self, thread, view, src_pattern: int, tag_pattern: int,
+              context: int) -> Generator:
+        p = self.params
+        yield from self.cpu.execute(thread, p.mpi_call_us + p.mpi_lock_us)
+        req = Request(self.env, "recv")
+        req.ctx = view
+        entry, inspected = self.early.match(context, src_pattern, tag_pattern)
+        yield from self.cpu.execute(thread, self.match_cost(inspected))
+        if entry is None:
+            self.posted.post(context, src_pattern, tag_pattern, req)
+            self.stats.matches_posted += 1
+            return req
+
+        env_, msg = entry
+        self._check_fits(msg, view)
+        if msg.proto == "rts":
+            # Fig 9: acknowledge the request-to-send now that the receive
+            # is posted
+            msg.req = req
+            msg.matched = True
+            self.bound_recvs[(msg.src_task, msg.sid)] = (req, msg.envelope)
+            slot_cid = self._alloc_rdata_slot(msg)
+            yield from self.lapi.amsend(
+                thread, msg.src_task, "mpi_rts_ack",
+                {"sid": msg.sid, "slot": slot_cid},
+            )
+        elif msg.assembled:
+            # message already sits complete in the early-arrival buffer
+            yield from self._copy_ea_to_user(thread, msg, req)
+        else:
+            # data still arriving into the EA buffer; finalize on completion
+            msg.req = req
+        return req
+
+    def _alloc_rdata_slot(self, msg: InMsg) -> Optional[int]:
+        if self.variant != "counters":
+            return None
+        pool = self._pools[msg.src_task]
+        return pool[msg.mseq % len(pool)].cid
+
+    def _check_fits(self, msg: InMsg, view) -> None:
+        if msg.size > len(view):
+            raise MpiFatal(
+                f"message of {msg.size}B truncates receive buffer of "
+                f"{len(view)}B (tag {msg.envelope.tag})"
+            )
+
+    def _copy_ea_to_user(self, thread: str, msg: InMsg, req: Request) -> Generator:
+        view = req.ctx
+        view[: msg.size] = msg.ea_buf[: msg.size]
+        yield from self.cpu.memcpy(thread, msg.size)
+        self._free_ea(msg.size)
+        req.complete(source=msg.envelope.src, tag=msg.envelope.tag, count=msg.size)
+        self.stats.msgs_received += 1
+
+    # --------------------------------------------- matching (sync, in HH)
+    def _announce(self, msg: InMsg) -> None:
+        """Process message announcements in per-source send order.
+
+        A first packet that raced ahead of its flow predecessors is
+        *deferred*: its data goes to an EA buffer and its matching waits
+        until the gap fills, preserving MPI's non-overtaking rule.
+        """
+        src = msg.src_task
+        expected = self._expected.setdefault(src, 0)
+        if msg.mseq != expected:
+            self.stats.deferred_announcements += 1
+            self.stats.trace("mpci", "announce_deferred", mseq=msg.mseq,
+                             expected=expected)
+            self._pending_ann.setdefault(src, {})[msg.mseq] = msg
+            return
+        self._match_now(msg, deferred=False)
+        self._expected[src] = expected + 1
+        pend = self._pending_ann.get(src)
+        while pend:
+            nxt = self._expected[src]
+            nxt_msg = pend.pop(nxt, None)
+            if nxt_msg is None:
+                break
+            self._match_now(nxt_msg, deferred=True)
+            self._expected[src] = nxt + 1
+
+    def _match_now(self, msg: InMsg, deferred: bool) -> None:
+        """Try the posted-receive queue; fall back to the EA queue.
+
+        For a matched request-to-send: when matched directly inside its
+        own header handler (``deferred=False``), the acknowledgement is
+        the job of the completion handler the header handler installs
+        (paper Fig 4c); a deferred match sends it via the control engine.
+        """
+        p = self.params
+        handle, inspected = self.posted.match(msg.envelope)
+        self.lapi.add_dispatch_charge(self.match_cost(inspected) + p.mpi_lock_us)
+        msg.matched = True
+        if handle is not None:
+            self.stats.trace("mpci", "matched_posted", proto=msg.proto,
+                             tag=msg.envelope.tag, mseq=msg.mseq)
+            req: Request = handle
+            self._check_fits(msg, req.ctx)
+            msg.req = req
+            if msg.proto == "rts":
+                self.bound_recvs[(msg.src_task, msg.sid)] = (req, msg.envelope)
+                if deferred:
+                    self._ctrlq.put(
+                        (msg.src_task, "mpi_rts_ack",
+                         {"sid": msg.sid, "slot": self._alloc_rdata_slot(msg)})
+                    )
+        elif msg.mode == READY:
+            # Fig 3: ready-mode message with no posted receive is fatal
+            raise MpiFatal(
+                f"ready-mode message (tag {msg.envelope.tag}) arrived with "
+                "no matching receive posted"
+            )
+        else:
+            self.stats.trace("mpci", "early_arrival", proto=msg.proto,
+                             tag=msg.envelope.tag, mseq=msg.mseq)
+            self.early.add(msg.envelope, msg)
+
+    # ------------------------------------------------------ completion
+    def _on_data_complete(self, msg: InMsg) -> None:
+        """A data message (eager or rdata) is fully assembled (sync)."""
+        msg.assembled = True
+        req = msg.req
+        if req is not None:
+            if msg.ea_buf is None:
+                req.complete(source=msg.envelope.src, tag=msg.envelope.tag,
+                             count=msg.size)
+                self.stats.msgs_received += 1
+            else:
+                backend = self
+
+                def finalize(thread: str, msg=msg, req=req) -> Generator:
+                    yield from backend._copy_ea_to_user(thread, msg, req)
+
+                req.set_finalizer(finalize)
+        if msg.want_bfree:
+            self._ctrlq.put((msg.src_task, "mpi_bfree", {"sid": msg.sid}))
+
+    def _cmpl_mark(self, lapi: Lapi, thread: str, msg: InMsg) -> Generator:
+        """Base/Enhanced completion handler: mark the message complete
+        (paper Fig 3c)."""
+        self._on_data_complete(msg)
+        yield self.env.timeout(0)
+
+    def _cmpl_send_rts_ack(self, lapi: Lapi, thread: str, msg: InMsg) -> Generator:
+        """Fig 4c: completion handler of a matched request-to-send."""
+        yield from lapi.amsend(
+            thread, msg.src_task, "mpi_rts_ack",
+            {"sid": msg.sid, "slot": self._alloc_rdata_slot(msg)},
+        )
+
+    # ------------------------------------------------- header handlers
+    def _hh_eager(self, lapi: Lapi, src_task: int, uhdr: dict, mlen: int):
+        """Fig 3b: match; return the user buffer or an EA buffer."""
+        msg = InMsg(
+            Envelope(uhdr["ctx"], uhdr["srank"], uhdr["tag"]),
+            src_task, uhdr["mseq"], uhdr["size"], "eager", uhdr["mode"],
+            uhdr["sid"], uhdr["bfree"],
+        )
+        self._announce(msg)
+        if msg.req is not None and msg.matched:
+            target = ByteTarget(msg.req.ctx)
+        else:
+            msg.ea_buf = self._alloc_ea(msg.size)
+            target = ByteTarget(msg.ea_buf)
+        return target, self._completion_for(msg), msg
+
+    def _completion_for(self, msg: InMsg):
+        """Choose the completion mechanism for a data message."""
+        if self.variant == "counters":
+            # dispatcher will increment the slot counter in-context;
+            # binding the message to the slot replaces the handler
+            pool = self._pools[msg.src_task]
+            pool[msg.mseq % len(pool)].bind(msg)
+            return None
+        return self._cmpl_mark
+
+    def _hh_rts(self, lapi: Lapi, src_task: int, uhdr: dict, mlen: int):
+        """Fig 4b: header handler of the request-to-send."""
+        msg = InMsg(
+            Envelope(uhdr["ctx"], uhdr["srank"], uhdr["tag"]),
+            src_task, uhdr["mseq"], uhdr["size"], "rts", uhdr["mode"],
+            uhdr["sid"], uhdr["bfree"],
+        )
+        self._announce(msg)
+        if msg.req is not None and msg.matched:
+            # matched immediately: the ack is the completion handler's
+            # job (Fig 4c) — threaded in base/counters, inline in enhanced
+            return NullTarget(), self._cmpl_send_rts_ack, msg
+        return NullTarget(), None, None
+
+    def _hh_rts_ack(self, lapi: Lapi, src_task: int, uhdr: dict, mlen: int):
+        """Fig 7: request-to-send acknowledged."""
+        ps = self.pending_sends.get(uhdr["sid"])
+        if ps is None:
+            return NullTarget(), None, None
+        self.stats.trace("mpci", "rts_acked", sid=uhdr["sid"],
+                         blocking=ps.blocking)
+        ps.recv_slot = uhdr.get("slot")
+        if ps.blocking:
+            ps.acked = True
+            if ps.waiter is not None and not ps.waiter.triggered:
+                ps.waiter.succeed()
+            return NullTarget(), None, None
+        return NullTarget(), self._cmpl_launch_rdata, ps
+
+    def _hh_rdata(self, lapi: Lapi, src_task: int, uhdr: dict, mlen: int):
+        """Second-phase rendezvous data: receive straight into the bound
+        user buffer (no matching needed)."""
+        bound = self.bound_recvs.pop((src_task, uhdr["sid"]), None)
+        if bound is None:
+            raise MpiFatal(f"rendezvous data for unknown receive (sid {uhdr['sid']})")
+        req, envelope = bound
+        msg = InMsg(envelope, src_task, -1, uhdr["size"], "rdata",
+                    "standard", uhdr["sid"], uhdr.get("bfree", False))
+        msg.req = req
+        msg.matched = True
+        if self.variant == "counters":
+            slot = self._slot_by_id[uhdr["slot"]]
+            slot.bind(msg)
+            return ByteTarget(req.ctx), None, msg
+        return ByteTarget(req.ctx), self._cmpl_mark, msg
+
+    def _hh_bfree(self, lapi: Lapi, src_task: int, uhdr: dict, mlen: int):
+        """Fig 8: receiver reports full receipt; free attached-buffer space."""
+        self._release_attached(uhdr["sid"])
+        return NullTarget(), None, None

@@ -1,0 +1,366 @@
+"""The native MPI stack: thick MPCI over the Pipes byte stream (Fig 1a).
+
+Cost structure (paper §2): for the first and last 16 KB of every message
+the data is staged through the pipe buffers — a copy user→pipe plus a
+copy pipe→HAL on the send side, mirrored on the receive side.  Bytes in
+the middle of larger messages stream directly.  In interrupt mode, the
+interrupt handler uses the *hysteresis* dwell the paper blames for the
+native stack's poor Fig 13 latency: after draining, it spins for a dwell
+window hoping to coalesce further packets, growing the window while
+traffic continues.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator, Optional
+
+from repro.mpci import Envelope
+from repro.mpi.backends.base import Backend, InMsg, MpiFatal, PendingSend
+from repro.mpi.protocol import BUFFERED, EAGER, READY
+from repro.mpi.request import Request
+from repro.pipes import PipeEndpoint
+from repro.sim import Event, Store
+
+__all__ = ["NativeBackend"]
+
+
+class _Frame:
+    """Receive-side assembly state for one in-flight MPCI frame."""
+
+    __slots__ = ("msg", "received", "target_view")
+
+    def __init__(self, msg: InMsg, target_view: Optional[memoryview]):
+        self.msg = msg
+        self.received = 0
+        self.target_view = target_view  # None => assemble into msg.ea_buf
+
+
+class NativeBackend(Backend):
+    """MPCI over Pipes."""
+
+    name = "native"
+
+    def __init__(self, env, cpu, params, stats, task_id, num_tasks,
+                 pipes: PipeEndpoint):
+        super().__init__(env, cpu, params, stats, task_id, num_tasks)
+        self.pipes = pipes
+        pipes.on_packet = self._on_packet
+        self._fids = itertools.count()
+        #: open receive frames keyed (src_task, fid)
+        self._frames: dict[tuple[int, int], _Frame] = {}
+        #: serialises all outgoing frames (matching order == enqueue order)
+        self._txq = Store(env, name=f"nat{task_id}.txq")
+        self._tx_bytes_queued = 0
+        self._tx_waiters: list[Event] = []
+        env.process(self._tx_engine(), name=f"nat{task_id}.tx")
+
+        # interrupt-mode state
+        self._hysteresis_us = params.hysteresis_initial_us
+
+    # ---------------------------------------------------------- plumbing
+    def progress(self, thread: str) -> Generator:
+        before = self.pipes.rx_pending
+        yield from self.pipes.dispatch(thread)
+        return before
+
+    def wait_rx(self) -> Event:
+        return self.pipes.wait_rx()
+
+    def set_interrupt_mode(self, enabled: bool) -> None:
+        adapter = self.pipes.hal.adapter
+        if enabled:
+            adapter.set_interrupt_handler(lambda _a: self._isr())
+        adapter.set_interrupt_mode(enabled)
+
+    def _isr(self) -> Generator:
+        """Interrupt handler with the paper's hysteresis dwell."""
+        thread = f"irq{self.task_id}"
+        p = self.params
+        yield from self.pipes.dispatch(thread)
+        while True:
+            # dwell: spin on the CPU hoping more packets arrive
+            self.stats.hysteresis_dwells += 1
+            yield from self.cpu.execute(thread, self._hysteresis_us)
+            if self.pipes.rx_pending == 0:
+                self._hysteresis_us = p.hysteresis_initial_us
+                return
+            # traffic kept coming: process it and dwell longer next round
+            self._hysteresis_us = min(
+                self._hysteresis_us * p.hysteresis_growth, p.hysteresis_max_us
+            )
+            yield from self.pipes.dispatch(thread)
+
+    # ------------------------------------------------------------- sends
+    def isend(self, thread, data: bytes, dst_task: int, src_rank: int, tag: int,
+              context: int, mode: str, blocking: bool = False) -> Generator:
+        p = self.params
+        yield from self.cpu.execute(thread, p.mpi_call_us + p.mpi_lock_us)
+        req = Request(self.env, "send")
+        size = len(data)
+        proto = self.select_protocol(mode, size)
+        sid = self.next_sid()
+        mseq = self.next_mseq(dst_task)
+        want_bfree = mode == BUFFERED
+        if want_bfree:
+            self._reserve_attached(size, sid)
+            yield from self.cpu.memcpy(thread, size)
+        self.stats.msgs_sent += 1
+
+        meta = {
+            "ctx": context,
+            "srank": src_rank,
+            "tag": tag,
+            "mseq": mseq,
+            "size": size,
+            "mode": mode,
+            "sid": sid,
+            "bfree": want_bfree,
+        }
+
+        if proto == EAGER:
+            self.stats.eager_sends += 1
+            meta["t"] = "eager"
+            # MPCI copies the (small) message into the pipe buffer now;
+            # the send is complete as far as the user buffer goes.
+            yield from self.cpu.memcpy(thread, size)
+            yield from self._throttle(size)
+            self._txq.put(("frame", dst_task, meta, data, size, size, None))
+            req.complete(count=size)
+        else:
+            self.stats.rendezvous_started += 1
+            meta["t"] = "rts"
+            ps = PendingSend(data, dst_task, meta, req, blocking)
+            self.pending_sends[sid] = ps
+            self._txq.put(("frame", dst_task, dict(meta), b"", 0, 0, None))
+            if want_bfree:
+                req.complete(count=size)
+            # data goes out when the CTS arrives (via the tx engine)
+        return req
+
+    def _throttle(self, size: int) -> Generator:
+        """Model the finite pipe send buffer: too many queued-but-unsent
+        bytes block further eager sends."""
+        while self._tx_bytes_queued + size > self.params.pipe_buffer_bytes and \
+                self._tx_bytes_queued > 0:
+            ev = self.env.event()
+            self._tx_waiters.append(ev)
+            yield self.env.any_of([ev, self.wait_rx()])
+            yield from self.progress("user")
+        self._tx_bytes_queued += size
+
+    def _tx_engine(self) -> Generator:
+        p = self.params
+        while True:
+            item = yield self._txq.get()
+            kind = item[0]
+            if kind == "frame":
+                _, dst, meta, data, bpre, bsuf, on_out = item
+                fid = next(self._fids)
+                yield from self.pipes.send_frame(
+                    "user", dst, meta, data,
+                    buffered_prefix=bpre, buffered_suffix=bsuf,
+                    on_payload_out=on_out, fid=fid,
+                )
+                self._tx_bytes_queued -= len(data) if meta.get("t") == "eager" else 0
+                waiters, self._tx_waiters = self._tx_waiters, []
+                for ev in waiters:
+                    if not ev.triggered:
+                        ev.succeed()
+            elif kind == "rdata":
+                _, ps = item
+                yield from self._send_rdata(ps)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown tx item {kind!r}")
+
+    def _send_rdata(self, ps: PendingSend) -> Generator:
+        """Second rendezvous phase: stage head/tail 16 KB, stream middle."""
+        p = self.params
+        size = len(ps.data)
+        head = min(p.pipe_copy_window, size)
+        tail = min(p.pipe_copy_window, size - head)
+        # MPCI copies the staged ranges into the pipe buffer
+        yield from self.cpu.memcpy("user", head + tail)
+        meta = {"t": "rdata", "sid": ps.uhdr["sid"], "size": size,
+                "bfree": ps.uhdr["bfree"]}
+        out_ev = self.env.event()
+        fid = next(self._fids)
+        yield from self.pipes.send_frame(
+            "user", ps.dst_task, meta, ps.data,
+            buffered_prefix=head, buffered_suffix=tail,
+            on_payload_out=out_ev, fid=fid,
+        )
+        req = ps.req
+        if not req.done:
+            out_ev._add_callback(
+                lambda _e: req.complete(count=size) if not req.done else None
+            )
+        elif not out_ev.triggered:
+            out_ev.defuse()  # nobody needs it
+        self.pending_sends.pop(ps.uhdr["sid"], None)
+
+    # ----------------------------------------------------------- receives
+    def irecv(self, thread, view, src_pattern: int, tag_pattern: int,
+              context: int) -> Generator:
+        p = self.params
+        yield from self.cpu.execute(thread, p.mpi_call_us + p.mpi_lock_us)
+        req = Request(self.env, "recv")
+        req.ctx = view
+        entry, inspected = self.early.match(context, src_pattern, tag_pattern)
+        yield from self.cpu.execute(thread, self.match_cost(inspected))
+        if entry is None:
+            self.posted.post(context, src_pattern, tag_pattern, req)
+            self.stats.matches_posted += 1
+            return req
+
+        _env, msg = entry
+        self._check_fits(msg, view)
+        if msg.proto == "rts":
+            msg.req = req
+            msg.matched = True
+            self.bound_recvs[(msg.src_task, msg.sid)] = (req, msg.envelope)
+            self._txq.put(("frame", msg.src_task,
+                           {"t": "cts", "sid": msg.sid}, b"", 0, 0, None))
+        elif msg.assembled:
+            yield from self._copy_ea_to_user(thread, msg, req)
+        else:
+            msg.req = req
+        return req
+
+    def _check_fits(self, msg: InMsg, view) -> None:
+        if msg.size > len(view):
+            raise MpiFatal(
+                f"message of {msg.size}B truncates receive buffer of "
+                f"{len(view)}B (tag {msg.envelope.tag})"
+            )
+
+    def _copy_ea_to_user(self, thread: str, msg: InMsg, req: Request) -> Generator:
+        view = req.ctx
+        view[: msg.size] = msg.ea_buf[: msg.size]
+        yield from self.cpu.memcpy(thread, msg.size)
+        self._free_ea(msg.size)
+        req.complete(source=msg.envelope.src, tag=msg.envelope.tag, count=msg.size)
+        self.stats.msgs_received += 1
+
+    # ------------------------------------------------ stream delivery
+    def _on_packet(self, thread: str, src: int, header: dict[str, Any],
+                   payload: bytes) -> Generator:
+        """In-order packet delivery from the Pipes layer."""
+        meta = header.get("meta")
+        if meta is not None:
+            yield from self._on_frame_start(thread, src, header, meta, payload)
+        else:
+            frame = self._frames.get((src, header["fid"]))
+            if frame is None:
+                raise MpiFatal(f"continuation packet for unknown frame {header['fid']}")
+            yield from self._frame_data(thread, frame, header, payload)
+
+    def _on_frame_start(self, thread: str, src: int, header: dict[str, Any],
+                        meta: dict[str, Any], payload: bytes) -> Generator:
+        t = meta["t"]
+        if t in ("eager", "rts"):
+            msg = InMsg(
+                Envelope(meta["ctx"], meta["srank"], meta["tag"]),
+                src, meta["mseq"], meta["size"], t, meta["mode"],
+                meta["sid"], meta["bfree"],
+            )
+            if t == "rts":
+                yield from self._match(thread, msg)
+                if msg.req is not None and msg.matched:
+                    self.bound_recvs[(src, msg.sid)] = (msg.req, msg.envelope)
+                    self._txq.put(("frame", src, {"t": "cts", "sid": msg.sid},
+                                   b"", 0, 0, None))
+                return
+            yield from self._match(thread, msg)
+            if msg.req is None or not msg.matched:
+                msg.ea_buf = self._alloc_ea(msg.size)
+                frame = _Frame(msg, None)
+            else:
+                frame = _Frame(msg, msg.req.ctx)
+            self._frames[(src, header["fid"])] = frame
+            yield from self._frame_data(thread, frame, header, payload)
+        elif t == "cts":
+            ps = self.pending_sends.get(meta["sid"])
+            if ps is not None:
+                self._txq.put(("rdata", ps))
+        elif t == "rdata":
+            bound = self.bound_recvs.pop((src, meta["sid"]), None)
+            if bound is None:
+                raise MpiFatal(f"rendezvous data for unknown receive (sid {meta['sid']})")
+            req, envelope = bound
+            msg = InMsg(envelope, src, -1, meta["size"], "rdata", "standard",
+                        meta["sid"], meta["bfree"])
+            msg.req = req
+            msg.matched = True
+            frame = _Frame(msg, req.ctx)
+            self._frames[(src, header["fid"])] = frame
+            yield from self._frame_data(thread, frame, header, payload)
+        elif t == "bfree":
+            self._release_attached(meta["sid"])
+        else:  # pragma: no cover - defensive
+            raise MpiFatal(f"unknown frame type {t!r}")
+
+    def _match(self, thread: str, msg: InMsg) -> Generator:
+        """Matching runs in dispatcher context (a generator here, so the
+        cost is charged directly rather than via the LAPI deferral)."""
+        p = self.params
+        handle, inspected = self.posted.match(msg.envelope)
+        yield from self.cpu.execute(thread, self.match_cost(inspected) + p.mpi_lock_us)
+        if handle is not None:
+            self.stats.trace("mpci", "matched_posted", proto=msg.proto,
+                             tag=msg.envelope.tag, mseq=msg.mseq)
+            req: Request = handle
+            self._check_fits(msg, req.ctx)
+            msg.req = req
+            msg.matched = True
+        elif msg.mode == READY:
+            raise MpiFatal(
+                f"ready-mode message (tag {msg.envelope.tag}) arrived with "
+                "no matching receive posted"
+            )
+        else:
+            self.stats.trace("mpci", "early_arrival", proto=msg.proto,
+                             tag=msg.envelope.tag, mseq=msg.mseq)
+            self.early.add(msg.envelope, msg)
+
+    def _frame_data(self, thread: str, frame: _Frame, header: dict[str, Any],
+                    payload: bytes) -> Generator:
+        """Copy one packet's payload to its destination and track progress.
+
+        Every packet pays one copy here: staged ("buffered") packets model
+        pipe-buffer→user, streamed ones HAL-buffer→user/EA.
+        """
+        msg = frame.msg
+        if payload:
+            off = header["foff"]
+            if frame.target_view is not None:
+                frame.target_view[off : off + len(payload)] = payload
+            else:
+                msg.ea_buf[off : off + len(payload)] = payload
+            yield from self.cpu.memcpy(thread, len(payload))
+            frame.received += len(payload)
+        if frame.received >= msg.size:
+            self._frames.pop((msg.src_task, header["fid"]), None)
+            self._complete_msg(msg)
+
+    def _complete_msg(self, msg: InMsg) -> None:
+        """Native completion happens right in the dispatcher — the native
+        stack has no separate completion thread (its Fig 13 problem is
+        hysteresis, not context switches)."""
+        msg.assembled = True
+        req = msg.req
+        if req is not None:
+            if msg.ea_buf is None:
+                req.complete(source=msg.envelope.src, tag=msg.envelope.tag,
+                             count=msg.size)
+                self.stats.msgs_received += 1
+            else:
+                backend = self
+
+                def finalize(thread: str, msg=msg, req=req) -> Generator:
+                    yield from backend._copy_ea_to_user(thread, msg, req)
+
+                req.set_finalizer(finalize)
+        if msg.want_bfree:
+            self._txq.put(("frame", msg.src_task,
+                           {"t": "bfree", "sid": msg.sid}, b"", 0, 0, None))

@@ -1,0 +1,199 @@
+"""Alternative collective algorithms (extension study).
+
+The MPI layer decomposes collectives into point-to-point messages
+(paper §2); *which* decomposition matters because the two stacks price
+messages differently (native favours tiny messages, MPI-LAPI mid/large
+ones).  This module provides drop-in alternatives to the defaults in
+:mod:`repro.mpi.collectives`:
+
+- ``allreduce``: ``reduce+bcast`` (default) vs **recursive doubling**
+  (log p rounds of pairwise exchanges, each carrying the full vector)
+  vs **ring** (2(p−1) rounds of 1/p-sized chunks — bandwidth-optimal).
+- ``bcast``: **binomial** (default) vs **scatter+allgather**
+  (van de Geijn), better for large payloads.
+- ``allgather``: **ring** (default) vs **recursive doubling**
+  (p a power of two; fewer rounds, bigger messages).
+
+Select per communicator::
+
+    comm.coll_algorithms["allreduce"] = "recursive_doubling"
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.mpi.collectives import _op, _recv, _send, _sendrecv
+from repro.mpi.collectives import allgather as _allgather_ring
+from repro.mpi.collectives import bcast as _bcast_binomial
+from repro.mpi.collectives import reduce as _reduce_binomial
+
+__all__ = [
+    "ALLGATHER_ALGORITHMS",
+    "ALLREDUCE_ALGORITHMS",
+    "BCAST_ALGORITHMS",
+    "allgather_recursive_doubling",
+    "allreduce_recursive_doubling",
+    "allreduce_reduce_bcast",
+    "allreduce_ring",
+    "bcast_scatter_allgather",
+]
+
+
+def _is_pow2(n: int) -> bool:
+    return n & (n - 1) == 0
+
+
+# ------------------------------------------------------------ allreduce
+
+
+def allreduce_reduce_bcast(comm, sendbuf, recvbuf, op: str = "sum") -> Generator:
+    """The default composition: binomial reduce to 0 then broadcast."""
+    out = np.asarray(recvbuf)
+    yield from _reduce_binomial(comm, sendbuf, out if comm.rank == 0 else None,
+                                op, root=0)
+    if comm.rank != 0:
+        np.copyto(out, np.asarray(sendbuf))
+    yield from _bcast_binomial(comm, out, root=0)
+
+
+def allreduce_recursive_doubling(comm, sendbuf, recvbuf, op: str = "sum") -> Generator:
+    """log2(p) pairwise exchange rounds; requires a power-of-two size."""
+    size = comm.size
+    if not _is_pow2(size):
+        raise ValueError("recursive doubling needs a power-of-two communicator")
+    ufunc = _op(op)
+    acc = np.asarray(sendbuf).copy()
+    tmp = np.empty_like(acc)
+    mask = 1
+    while mask < size:
+        partner = comm.rank ^ mask
+        yield from _sendrecv(comm, acc, partner, tmp, partner, tag=9500 + mask)
+        acc = ufunc(acc, tmp)
+        mask <<= 1
+    np.copyto(np.asarray(recvbuf), acc)
+
+
+def allreduce_ring(comm, sendbuf, recvbuf, op: str = "sum") -> Generator:
+    """Bandwidth-optimal ring: reduce-scatter pass then allgather pass.
+
+    The vector is split into p chunks; each of the 2(p−1) steps moves
+    one chunk to the right neighbour.
+    """
+    size = comm.size
+    ufunc = _op(op)
+    arr = np.asarray(sendbuf).astype(np.asarray(recvbuf).dtype, copy=True)
+    out = np.asarray(recvbuf)
+    if size == 1:
+        np.copyto(out, arr)
+        return
+    flat = arr.reshape(-1)
+    n = flat.shape[0]
+    bounds = [n * i // size for i in range(size + 1)]
+
+    def chunk(i):
+        i %= size
+        return flat[bounds[i] : bounds[i + 1]]
+
+    right = (comm.rank + 1) % size
+    left = (comm.rank - 1) % size
+    # reduce-scatter: after p-1 steps, chunk (rank+1) holds the full sum
+    for step in range(size - 1):
+        send_idx = comm.rank - step
+        recv_idx = comm.rank - step - 1
+        inbox = np.empty_like(chunk(recv_idx))
+        yield from _sendrecv(comm, chunk(send_idx).copy(), right, inbox, left,
+                             tag=9600 + step)
+        np.copyto(chunk(recv_idx), ufunc(chunk(recv_idx), inbox))
+    # allgather: circulate the finished chunks
+    for step in range(size - 1):
+        send_idx = comm.rank - step + 1
+        recv_idx = comm.rank - step
+        inbox = np.empty_like(chunk(recv_idx))
+        yield from _sendrecv(comm, chunk(send_idx).copy(), right, inbox, left,
+                             tag=9700 + step)
+        np.copyto(chunk(recv_idx), inbox)
+    np.copyto(out.reshape(-1), flat)
+
+
+# ---------------------------------------------------------------- bcast
+
+
+def bcast_scatter_allgather(comm, buf, root: int = 0) -> Generator:
+    """van de Geijn broadcast: scatter chunks from the root, then ring-
+    allgather them — two bandwidth-efficient phases for large payloads."""
+    size = comm.size
+    if size == 1:
+        return
+    arr = np.asarray(buf).reshape(-1)
+    view = arr.view(np.uint8)
+    n = view.shape[0]
+    bounds = [n * i // size for i in range(size + 1)]
+
+    # scatter phase (linear from root; chunk i -> rank i)
+    for r in range(size):
+        if r == root:
+            continue
+        lo, hi = bounds[r], bounds[r + 1]
+        if comm.rank == root:
+            yield from _send(comm, view[lo:hi].copy(), r, tag=9800 + r)
+        elif comm.rank == r:
+            inbox = np.empty(hi - lo, dtype=np.uint8)
+            yield from _recv(comm, inbox, root, tag=9800 + r)
+            view[lo:hi] = inbox
+
+    # ring allgather of the chunks
+    right = (comm.rank + 1) % size
+    left = (comm.rank - 1) % size
+    for step in range(size - 1):
+        send_idx = (comm.rank - step) % size
+        recv_idx = (comm.rank - step - 1) % size
+        slo, shi = bounds[send_idx], bounds[send_idx + 1]
+        rlo, rhi = bounds[recv_idx], bounds[recv_idx + 1]
+        inbox = np.empty(rhi - rlo, dtype=np.uint8)
+        yield from _sendrecv(comm, view[slo:shi].copy(), right, inbox, left,
+                             tag=9900 + step)
+        view[rlo:rhi] = inbox
+
+
+# ------------------------------------------------------------ allgather
+
+
+def allgather_recursive_doubling(comm, sendbuf, recvbuf) -> Generator:
+    """log2(p) rounds, doubling the exchanged block each time."""
+    size = comm.size
+    if not _is_pow2(size):
+        raise ValueError("recursive doubling needs a power-of-two communicator")
+    out = np.asarray(recvbuf)
+    np.copyto(out[comm.rank], np.asarray(sendbuf))
+    mask = 1
+    while mask < size:
+        partner = comm.rank ^ mask
+        base_mine = comm.rank & ~(mask - 1)
+        base_theirs = partner & ~(mask - 1)
+        block = out[base_mine : base_mine + mask].copy()
+        inbox = np.empty_like(block)
+        yield from _sendrecv(comm, block, partner, inbox, partner, tag=9950 + mask)
+        out[base_theirs : base_theirs + mask] = inbox.reshape(
+            out[base_theirs : base_theirs + mask].shape
+        )
+        mask <<= 1
+
+
+ALLREDUCE_ALGORITHMS = {
+    "reduce_bcast": allreduce_reduce_bcast,
+    "recursive_doubling": allreduce_recursive_doubling,
+    "ring": allreduce_ring,
+}
+
+BCAST_ALGORITHMS = {
+    "binomial": _bcast_binomial,
+    "scatter_allgather": bcast_scatter_allgather,
+}
+
+ALLGATHER_ALGORITHMS = {
+    "ring": _allgather_ring,
+    "recursive_doubling": allgather_recursive_doubling,
+}

@@ -1,0 +1,358 @@
+"""Collective operations, decomposed into point-to-point messages.
+
+The paper's §2: "the MPI layer ... breaks down all collective
+communication calls into a series of point-to-point message passing
+calls in MPCI".  These are the classic algorithms of that era: binomial
+trees for bcast/reduce, dissemination barrier, ring allgather, pairwise
+alltoall, linear gather/scatter/scan.
+
+All collective traffic runs in the communicator's dedicated collective
+context, so it can never match user receives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Sequence
+
+import numpy as np
+
+from repro.mpi.datatypes import as_bytes, as_writable
+from repro.mpi.protocol import STANDARD
+
+__all__ = [
+    "allgather",
+    "allreduce",
+    "alltoall",
+    "alltoallv",
+    "barrier",
+    "bcast",
+    "gather",
+    "gatherv",
+    "reduce",
+    "reduce_scatter",
+    "scan",
+    "scatter",
+    "scatterv",
+    "split",
+    "REDUCE_OPS",
+]
+
+REDUCE_OPS = {
+    "sum": np.add,
+    "prod": np.multiply,
+    "max": np.maximum,
+    "min": np.minimum,
+    "band": np.bitwise_and,
+    "bor": np.bitwise_or,
+    "bxor": np.bitwise_xor,
+    "land": np.logical_and,
+    "lor": np.logical_or,
+}
+
+
+def _op(name: str):
+    try:
+        return REDUCE_OPS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown reduction op {name!r}; choose from {sorted(REDUCE_OPS)}"
+        ) from None
+
+
+# ------------------------------------------------------------ primitives
+
+
+def _send(comm, buf: Any, dest: int, tag: int) -> Generator:
+    """Blocking standard-mode send in the collective context."""
+    data = as_bytes(buf)
+    req = yield from comm.backend.isend(
+        "user", data, comm._task_of(dest), comm.rank, tag, comm.coll_context,
+        STANDARD, blocking=True,
+    )
+    yield from comm.backend.wait("user", req)
+
+
+def _recv(comm, buf: Any, source: int, tag: int) -> Generator:
+    """Blocking receive in the collective context."""
+    view = as_writable(buf)
+    req = yield from comm.backend.irecv("user", view, source, tag, comm.coll_context)
+    return (yield from comm.backend.wait("user", req))
+
+
+def _sendrecv(comm, sendbuf: Any, dest: int, recvbuf: Any, source: int,
+              tag: int) -> Generator:
+    view = as_writable(recvbuf)
+    rreq = yield from comm.backend.irecv("user", view, source, tag, comm.coll_context)
+    data = as_bytes(sendbuf)
+    sreq = yield from comm.backend.isend(
+        "user", data, comm._task_of(dest), comm.rank, tag, comm.coll_context,
+        STANDARD, blocking=False,
+    )
+    yield from comm.backend.wait("user", sreq)
+    yield from comm.backend.wait("user", rreq)
+
+
+# ------------------------------------------------------------ collectives
+
+
+def barrier(comm) -> Generator:
+    """Dissemination barrier: ceil(log2(p)) rounds."""
+    size = comm.size
+    if size == 1:
+        return
+    token = np.zeros(1, dtype=np.uint8)
+    sink = np.zeros(1, dtype=np.uint8)
+    k = 0
+    dist = 1
+    while dist < size:
+        dst = (comm.rank + dist) % size
+        src = (comm.rank - dist) % size
+        yield from _sendrecv(comm, token, dst, sink, src, tag=1000 + k)
+        dist <<= 1
+        k += 1
+
+
+def bcast(comm, buf: Any, root: int = 0) -> Generator:
+    """Binomial-tree broadcast; every rank passes the same-sized buffer."""
+    size = comm.size
+    if size == 1:
+        return
+    vrank = (comm.rank - root) % size
+    mask = 1
+    while mask < size:
+        if vrank < mask:
+            partner = vrank + mask
+            if partner < size:
+                yield from _send(comm, buf, (partner + root) % size, tag=2000 + mask)
+        elif vrank < 2 * mask:
+            partner = vrank - mask
+            yield from _recv(comm, buf, (partner + root) % size, tag=2000 + mask)
+        mask <<= 1
+
+
+def reduce(comm, sendbuf: Any, recvbuf: Optional[Any], op: str = "sum",
+           root: int = 0) -> Generator:
+    """Binomial-tree reduction (commutative ops)."""
+    ufunc = _op(op)
+    size = comm.size
+    arr = np.asarray(sendbuf)
+    acc = arr.copy()
+    if size == 1:
+        if recvbuf is not None:
+            np.copyto(np.asarray(recvbuf), acc)
+        return
+    vrank = (comm.rank - root) % size
+    tmp = np.empty_like(acc)
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            dst = ((vrank - mask) + root) % size
+            yield from _send(comm, acc, dst, tag=3000 + mask)
+            break
+        partner = vrank + mask
+        if partner < size:
+            src = (partner + root) % size
+            yield from _recv(comm, tmp, src, tag=3000 + mask)
+            acc = ufunc(acc, tmp)
+        mask <<= 1
+    if comm.rank == root and recvbuf is not None:
+        np.copyto(np.asarray(recvbuf), acc)
+
+
+def allreduce(comm, sendbuf: Any, recvbuf: Any, op: str = "sum") -> Generator:
+    """Reduce-to-0 then broadcast (the MPCI-era composition)."""
+    out = np.asarray(recvbuf)
+    yield from reduce(comm, sendbuf, out if comm.rank == 0 else None, op, root=0)
+    if comm.rank != 0:
+        np.copyto(out, np.asarray(sendbuf))  # shape/dtype priming
+    yield from bcast(comm, out, root=0)
+
+
+def gather(comm, sendbuf: Any, recvbuf: Optional[Any], root: int = 0) -> Generator:
+    """Linear gather: recvbuf's leading dimension indexes ranks."""
+    size = comm.size
+    arr = np.asarray(sendbuf)
+    if comm.rank == root:
+        out = np.asarray(recvbuf)
+        if out.shape[0] != size:
+            raise ValueError("gather recvbuf leading dimension must equal comm size")
+        np.copyto(out[root], arr)
+        for r in range(size):
+            if r != root:
+                yield from _recv(comm, out[r], r, tag=4000 + r)
+    else:
+        yield from _send(comm, arr, root, tag=4000 + comm.rank)
+
+
+def scatter(comm, sendbuf: Optional[Any], recvbuf: Any, root: int = 0) -> Generator:
+    """Linear scatter: sendbuf's leading dimension indexes ranks."""
+    size = comm.size
+    out = np.asarray(recvbuf)
+    if comm.rank == root:
+        src = np.asarray(sendbuf)
+        if src.shape[0] != size:
+            raise ValueError("scatter sendbuf leading dimension must equal comm size")
+        np.copyto(out, src[root])
+        for r in range(size):
+            if r != root:
+                yield from _send(comm, src[r], r, tag=5000 + r)
+    else:
+        yield from _recv(comm, out, root, tag=5000 + comm.rank)
+
+
+def allgather(comm, sendbuf: Any, recvbuf: Any) -> Generator:
+    """Ring allgather: p-1 steps, each forwarding the previous block."""
+    size = comm.size
+    arr = np.asarray(sendbuf)
+    out = np.asarray(recvbuf)
+    if out.shape[0] != size:
+        raise ValueError("allgather recvbuf leading dimension must equal comm size")
+    np.copyto(out[comm.rank], arr)
+    right = (comm.rank + 1) % size
+    left = (comm.rank - 1) % size
+    for step in range(size - 1):
+        send_idx = (comm.rank - step) % size
+        recv_idx = (comm.rank - step - 1) % size
+        yield from _sendrecv(comm, out[send_idx], right, out[recv_idx], left,
+                             tag=6000 + step)
+
+
+def alltoall(comm, sendbuf: Any, recvbuf: Any) -> Generator:
+    """Pairwise-exchange alltoall: leading dimension indexes peers."""
+    size = comm.size
+    src_arr = np.asarray(sendbuf)
+    out = np.asarray(recvbuf)
+    if src_arr.shape[0] != size or out.shape[0] != size:
+        raise ValueError("alltoall buffers' leading dimension must equal comm size")
+    np.copyto(out[comm.rank], src_arr[comm.rank])
+    for step in range(1, size):
+        dst = (comm.rank + step) % size
+        src = (comm.rank - step) % size
+        yield from _sendrecv(comm, src_arr[dst], dst, out[src], src, tag=7000 + step)
+
+
+def alltoallv(comm, sendbuf: Any, sendcounts: Sequence[int], recvbuf: Any,
+              recvcounts: Sequence[int]) -> Generator:
+    """Byte-count alltoallv over flat byte buffers."""
+    size = comm.size
+    if len(sendcounts) != size or len(recvcounts) != size:
+        raise ValueError("count arrays must have one entry per rank")
+    sview = memoryview(as_bytes(sendbuf))
+    rview = as_writable(recvbuf)
+    sdisp = np.concatenate([[0], np.cumsum(sendcounts)]).astype(int)
+    rdisp = np.concatenate([[0], np.cumsum(recvcounts)]).astype(int)
+    if sdisp[-1] > len(sview) or rdisp[-1] > len(rview):
+        raise ValueError("counts exceed buffer sizes")
+    # local block
+    rview[rdisp[comm.rank] : rdisp[comm.rank + 1]] = sview[
+        sdisp[comm.rank] : sdisp[comm.rank + 1]
+    ]
+    for step in range(1, size):
+        dst = (comm.rank + step) % size
+        src = (comm.rank - step) % size
+        send_chunk = bytes(sview[sdisp[dst] : sdisp[dst + 1]])
+        recv_chunk = bytearray(recvcounts[src])
+        yield from _sendrecv(comm, send_chunk, dst, recv_chunk, src, tag=8000 + step)
+        rview[rdisp[src] : rdisp[src + 1]] = recv_chunk
+
+
+def gatherv(comm, sendbuf: Any, recvbuf: Optional[Any],
+            recvcounts: Optional[Sequence[int]], root: int = 0) -> Generator:
+    """MPI_Gatherv over flat byte buffers: rank r contributes
+    ``recvcounts[r]`` bytes, concatenated in rank order at the root."""
+    size = comm.size
+    data = as_bytes(sendbuf)
+    if comm.rank == root:
+        if recvcounts is None or len(recvcounts) != size:
+            raise ValueError("root needs one recvcount per rank")
+        out = as_writable(recvbuf)
+        disp = np.concatenate([[0], np.cumsum(recvcounts)]).astype(int)
+        if disp[-1] > len(out):
+            raise ValueError("recvcounts exceed recvbuf")
+        if len(data) != recvcounts[root]:
+            raise ValueError("root's own contribution has the wrong size")
+        out[disp[root] : disp[root + 1]] = data
+        for r in range(size):
+            if r == root:
+                continue
+            chunk = bytearray(recvcounts[r])
+            yield from _recv(comm, chunk, r, tag=8500 + r)
+            out[disp[r] : disp[r + 1]] = chunk
+    else:
+        yield from _send(comm, data, root, tag=8500 + comm.rank)
+
+
+def scatterv(comm, sendbuf: Optional[Any], sendcounts: Optional[Sequence[int]],
+             recvbuf: Any, root: int = 0) -> Generator:
+    """MPI_Scatterv over flat byte buffers."""
+    size = comm.size
+    out = as_writable(recvbuf)
+    if comm.rank == root:
+        if sendcounts is None or len(sendcounts) != size:
+            raise ValueError("root needs one sendcount per rank")
+        src = memoryview(as_bytes(sendbuf))
+        disp = np.concatenate([[0], np.cumsum(sendcounts)]).astype(int)
+        if disp[-1] > len(src):
+            raise ValueError("sendcounts exceed sendbuf")
+        out[: sendcounts[root]] = src[disp[root] : disp[root + 1]]
+        for r in range(size):
+            if r == root:
+                continue
+            yield from _send(comm, bytes(src[disp[r] : disp[r + 1]]), r,
+                             tag=8600 + r)
+    else:
+        chunk = bytearray(len(out))
+        status = yield from _recv(comm, chunk, root, tag=8600 + comm.rank)
+        out[: status.count] = chunk[: status.count]
+
+
+def reduce_scatter(comm, sendbuf: Any, recvbuf: Any, op: str = "sum") -> Generator:
+    """MPI_Reduce_scatter_block: reduce then scatter equal blocks.
+
+    ``sendbuf`` has leading dimension ``size``; rank r receives the
+    reduction of everyone's block r in ``recvbuf``.
+    """
+    size = comm.size
+    src = np.asarray(sendbuf)
+    out = np.asarray(recvbuf)
+    if src.shape[0] != size:
+        raise ValueError("reduce_scatter sendbuf leading dim must equal size")
+    total = np.empty_like(src)
+    yield from reduce(comm, src, total if comm.rank == 0 else None, op, root=0)
+    yield from scatter(comm, total if comm.rank == 0 else None, out, root=0)
+
+
+def scan(comm, sendbuf: Any, recvbuf: Any, op: str = "sum") -> Generator:
+    """Inclusive prefix reduction, linear pipeline."""
+    ufunc = _op(op)
+    arr = np.asarray(sendbuf)
+    out = np.asarray(recvbuf)
+    np.copyto(out, arr)
+    if comm.rank > 0:
+        tmp = np.empty_like(out)
+        yield from _recv(comm, tmp, comm.rank - 1, tag=9000)
+        np.copyto(out, ufunc(tmp, arr))
+    if comm.rank < comm.size - 1:
+        yield from _send(comm, out, comm.rank + 1, tag=9000)
+
+
+def split(comm, color: int, key: int = 0) -> Generator:
+    """MPI_Comm_split: allgather (color, key), then build subgroups."""
+    from repro.mpi.api import Communicator  # local import to avoid cycle
+
+    size = comm.size
+    mine = np.array([color, key, comm.rank], dtype=np.int64)
+    table = np.zeros((size, 3), dtype=np.int64)
+    yield from allgather(comm, mine, table)
+    comm._derived += 1
+    if color < 0:  # MPI_UNDEFINED convention
+        return None
+    members = [
+        (int(k), int(r)) for c, k, r in table.tolist() if c == color
+    ]
+    members.sort()
+    ranks = [r for _k, r in members]
+    group = [comm.group[r] for r in ranks]
+    new_rank = ranks.index(comm.rank)
+    ctx = comm.context + ("split", comm._derived, color)
+    return Communicator(comm.backend, group, new_rank, ctx)

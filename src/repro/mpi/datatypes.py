@@ -1,0 +1,54 @@
+"""Buffer handling: anything bytes-like or a NumPy array works.
+
+The paper's MPI-LAPI left derived datatypes as future work ("We plan to
+implement MPI data types"); this reproduction supports contiguous
+buffers in the core API and implements the future-work derived types
+(vector/indexed) in :mod:`repro.mpi.derived`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["as_bytes", "as_writable", "nbytes_of"]
+
+
+def as_bytes(obj: Any) -> bytes:
+    """Snapshot a send buffer as immutable bytes."""
+    if isinstance(obj, bytes):
+        return obj
+    if isinstance(obj, (bytearray, memoryview)):
+        return bytes(obj)
+    if isinstance(obj, np.ndarray):
+        if not obj.flags.c_contiguous:
+            obj = np.ascontiguousarray(obj)
+        return obj.tobytes()
+    if isinstance(obj, (int, float, complex, np.generic)):
+        return np.asarray(obj).tobytes()
+    raise TypeError(f"cannot use {type(obj).__name__} as a message buffer")
+
+
+def as_writable(obj: Any) -> memoryview:
+    """View a receive buffer as a writable flat byte view."""
+    if isinstance(obj, np.ndarray):
+        if not obj.flags.c_contiguous:
+            raise ValueError("receive arrays must be C-contiguous")
+        view = memoryview(obj).cast("B")
+    elif isinstance(obj, (bytearray, memoryview)):
+        view = memoryview(obj).cast("B")
+    else:
+        raise TypeError(f"cannot receive into {type(obj).__name__}")
+    if view.readonly:
+        raise ValueError("receive buffer is read-only")
+    return view
+
+
+def nbytes_of(obj: Any) -> int:
+    """Byte length of a buffer-like object."""
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(memoryview(obj).cast("B"))
+    raise TypeError(f"cannot size {type(obj).__name__}")

@@ -1,0 +1,46 @@
+"""MPI communication modes and their internal-protocol translation.
+
+This is the paper's Table 2:
+
+    =============  =========================================
+    MPI mode       internal protocol
+    =============  =========================================
+    Standard       eager if size <= eager limit, else rendezvous
+    Ready          eager
+    Synchronous    rendezvous
+    Buffered       eager if size <= eager limit, else rendezvous
+    =============  =========================================
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BUFFERED",
+    "EAGER",
+    "READY",
+    "RENDEZVOUS",
+    "STANDARD",
+    "SYNCHRONOUS",
+    "select_protocol",
+    "MODES",
+]
+
+STANDARD = "standard"
+SYNCHRONOUS = "synchronous"
+READY = "ready"
+BUFFERED = "buffered"
+MODES = (STANDARD, SYNCHRONOUS, READY, BUFFERED)
+
+EAGER = "eager"
+RENDEZVOUS = "rendezvous"
+
+
+def select_protocol(mode: str, size: int, eager_limit: int) -> str:
+    """Translate an MPI communication mode to the internal protocol."""
+    if mode == STANDARD or mode == BUFFERED:
+        return EAGER if size <= eager_limit else RENDEZVOUS
+    if mode == READY:
+        return EAGER
+    if mode == SYNCHRONOUS:
+        return RENDEZVOUS
+    raise ValueError(f"unknown MPI communication mode {mode!r}")

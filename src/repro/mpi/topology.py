@@ -1,0 +1,153 @@
+"""Cartesian process topologies (MPI_Cart_* family).
+
+Grid-structured codes (the NAS BT/SP/MG family) address neighbours by
+grid coordinates; this module provides the classic helpers over any
+:class:`~repro.mpi.api.Communicator`:
+
+- :func:`dims_create` — factor a process count into a balanced grid
+  (MPI_Dims_create),
+- :class:`CartComm` — a communicator wrapper with ``coords``,
+  ``cart_rank``, ``cart_shift`` and neighbour ``sendrecv``.
+
+Construction is deterministic (row-major rank order), so no
+communication is needed — matching how MPI_Cart_create with
+``reorder=false`` behaves.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["CartComm", "dims_create"]
+
+
+def dims_create(nnodes: int, ndims: int) -> list[int]:
+    """Factor ``nnodes`` into ``ndims`` balanced dimensions (descending)."""
+    if nnodes < 1 or ndims < 1:
+        raise ValueError("nnodes and ndims must be positive")
+    dims = [1] * ndims
+    remaining = nnodes
+    # repeatedly peel the smallest prime factor onto the smallest dim
+    factors = []
+    n = remaining
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    for f in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= f
+    return sorted(dims, reverse=True)
+
+
+class CartComm:
+    """A Cartesian view over a communicator.
+
+    ``periods[d]`` selects wraparound in dimension ``d``; shifts off a
+    non-periodic edge return ``None`` partners (like MPI_PROC_NULL).
+    """
+
+    def __init__(self, comm, dims: Sequence[int],
+                 periods: Optional[Sequence[bool]] = None):
+        self.comm = comm
+        self.dims = list(dims)
+        if int(np.prod(self.dims)) != comm.size:
+            raise ValueError(
+                f"grid {self.dims} needs {int(np.prod(self.dims))} ranks, "
+                f"communicator has {comm.size}"
+            )
+        self.periods = list(periods) if periods is not None else [False] * len(dims)
+        if len(self.periods) != len(self.dims):
+            raise ValueError("periods must match dims")
+        self.ndims = len(self.dims)
+
+    # ------------------------------------------------------------ maths
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    @property
+    def coords(self) -> tuple[int, ...]:
+        return self.rank_to_coords(self.comm.rank)
+
+    def rank_to_coords(self, rank: int) -> tuple[int, ...]:
+        """Row-major rank -> coordinates."""
+        if not (0 <= rank < self.size):
+            raise ValueError(f"rank {rank} out of range")
+        coords = []
+        for d in reversed(self.dims):
+            coords.append(rank % d)
+            rank //= d
+        return tuple(reversed(coords))
+
+    def cart_rank(self, coords: Sequence[int]) -> int:
+        """Coordinates -> rank, honouring periodicity."""
+        if len(coords) != self.ndims:
+            raise ValueError("coordinate count mismatch")
+        rank = 0
+        for d, (c, dim, per) in enumerate(zip(coords, self.dims, self.periods)):
+            if not (0 <= c < dim):
+                if not per:
+                    raise ValueError(f"coordinate {c} outside non-periodic dim {d}")
+                c %= dim
+            rank = rank * dim + c
+        return rank
+
+    def cart_shift(self, dimension: int, displacement: int = 1):
+        """MPI_Cart_shift: (source, dest) ranks, ``None`` past an edge."""
+        if not (0 <= dimension < self.ndims):
+            raise ValueError("bad dimension")
+        me = list(self.coords)
+
+        def neighbour(disp):
+            c = list(me)
+            c[dimension] += disp
+            if not (0 <= c[dimension] < self.dims[dimension]):
+                if not self.periods[dimension]:
+                    return None
+                c[dimension] %= self.dims[dimension]
+            return self.cart_rank(c)
+
+        return neighbour(-displacement), neighbour(+displacement)
+
+    # ----------------------------------------------------- communication
+    def neighbour_sendrecv(self, dimension: int, displacement: int,
+                           sendbuf, recvbuf, tag: int = 0) -> Generator:
+        """Shift data along a dimension: send toward ``+displacement``,
+        receive from the opposite side.  Edges without partners skip the
+        corresponding half (MPI_PROC_NULL semantics)."""
+        source, dest = self.cart_shift(dimension, displacement)
+        if source is not None and dest is not None:
+            yield from self.comm.sendrecv(sendbuf, dest, recvbuf, source,
+                                          tag, tag)
+        elif dest is not None:
+            yield from self.comm.send(sendbuf, dest, tag)
+        elif source is not None:
+            yield from self.comm.recv(recvbuf, source, tag)
+
+    def sub(self, keep: Sequence[bool]) -> Generator:
+        """MPI_Cart_sub: split into lower-dimensional grids (collective)."""
+        if len(keep) != self.ndims:
+            raise ValueError("keep must match dims")
+        me = self.coords
+        color = 0
+        for d in range(self.ndims):
+            if not keep[d]:
+                color = color * self.dims[d] + me[d]
+        key = 0
+        for d in range(self.ndims):
+            if keep[d]:
+                key = key * self.dims[d] + me[d]
+        sub_comm = yield from self.comm.split_collective(color, key)
+        sub_dims = [self.dims[d] for d in range(self.ndims) if keep[d]]
+        sub_periods = [self.periods[d] for d in range(self.ndims) if keep[d]]
+        return CartComm(sub_comm, sub_dims, sub_periods)

@@ -1,0 +1,175 @@
+"""MPL — IBM's pre-MPI message-passing library, as a compatibility facade.
+
+The paper's §2: "MPL, an IBM designed interface, was the first message
+passing interface developed by IBM on SP systems.  Subsequently, after
+MPI became a standard it was implemented by reusing some of the
+infrastructure of MPL."  This module recreates the MPL programming
+surface (the ``mpc_*`` calls with their integer message ids, blocking
+``mpc_bsend``/``mpc_brecv``, the ``mpc_wait`` on ALLMSG, ``mpc_task_*``
+environment queries and the combined-operation collectives) on top of
+either protocol stack — so legacy-style MPL programs run unchanged on
+the LAPI transport, which is exactly the layering story the paper tells.
+
+MPL semantics mapped:
+
+==============  ====================================================
+MPL call        here
+==============  ====================================================
+mpc_environ     task count + task id
+mpc_bsend       blocking send (standard mode)
+mpc_brecv       blocking receive; source/type wildcards via DONTCARE
+mpc_send        nonblocking send -> integer message id
+mpc_recv        nonblocking receive -> integer message id
+mpc_wait        wait on one id or ALLMSG; returns received byte count
+mpc_status      poll a message id (done: byte count, else -1)
+mpc_probe       nonblocking probe
+mpc_sync        barrier
+mpc_combine     allreduce on raw buffers
+mpc_index       allgather-style concatenation
+==============  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.mpci import ANY_SOURCE, ANY_TAG
+from repro.mpi.api import Communicator
+from repro.mpi.request import Request
+
+__all__ = ["ALLMSG", "DONTCARE", "MplError", "MplTask"]
+
+#: MPL wildcard (matches MPL's -1 conventions)
+DONTCARE = -1
+#: wait on every outstanding message
+ALLMSG = -2
+
+
+class MplError(RuntimeError):
+    """MPL-level misuse."""
+
+
+class MplTask:
+    """The per-task MPL handle, wrapping a :class:`Communicator`.
+
+    Programs use it like the original library::
+
+        nbuf = yield from task.mpc_brecv(buf, source=DONTCARE, type=DONTCARE)
+        yield from task.mpc_bsend(data, dest=1, type=99)
+    """
+
+    def __init__(self, comm: Communicator):
+        self.comm = comm
+        self._msgs: dict[int, Request] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------- environment
+    def mpc_environ(self) -> tuple[int, int]:
+        """(numtask, taskid)."""
+        return self.comm.size, self.comm.rank
+
+    @property
+    def taskid(self) -> int:
+        return self.comm.rank
+
+    @property
+    def numtask(self) -> int:
+        return self.comm.size
+
+    # ------------------------------------------------------ point to point
+    def _check_type(self, type_: int, allow_dontcare: bool) -> int:
+        if type_ == DONTCARE:
+            if not allow_dontcare:
+                raise MplError("message type DONTCARE is only legal on receive")
+            return ANY_TAG
+        if type_ < 0:
+            raise MplError("MPL message types are non-negative integers")
+        return type_
+
+    def mpc_bsend(self, buf: Any, dest: int, type_: int = 0) -> Generator:
+        """Blocking send."""
+        yield from self.comm.send(buf, dest, self._check_type(type_, False))
+
+    def mpc_brecv(self, buf: Any, source: int = DONTCARE,
+                  type_: int = DONTCARE) -> Generator:
+        """Blocking receive; returns (nbytes, source, type)."""
+        src = ANY_SOURCE if source == DONTCARE else source
+        status = yield from self.comm.recv(buf, src, self._check_type(type_, True))
+        return status.count, status.source, status.tag
+
+    def mpc_send(self, buf: Any, dest: int, type_: int = 0) -> Generator:
+        """Nonblocking send; returns an integer message id."""
+        req = yield from self.comm.isend(buf, dest, self._check_type(type_, False))
+        return self._register(req)
+
+    def mpc_recv(self, buf: Any, source: int = DONTCARE,
+                 type_: int = DONTCARE) -> Generator:
+        """Nonblocking receive; returns an integer message id."""
+        src = ANY_SOURCE if source == DONTCARE else source
+        req = yield from self.comm.irecv(buf, src, self._check_type(type_, True))
+        return self._register(req)
+
+    def _register(self, req: Request) -> int:
+        mid = self._next_id
+        self._next_id += 1
+        self._msgs[mid] = req
+        return mid
+
+    def mpc_wait(self, msgid: int) -> Generator:
+        """Wait on one message id, or ALLMSG; returns total bytes."""
+        if msgid == ALLMSG:
+            ids = list(self._msgs)
+        else:
+            ids = [msgid]
+        total = 0
+        for mid in ids:
+            req = self._msgs.pop(mid, None)
+            if req is None:
+                raise MplError(f"unknown (or already waited) message id {mid}")
+            status = yield from self.comm.wait(req)
+            total += status.count if req.kind == "recv" else 0
+        return total
+
+    def mpc_status(self, msgid: int) -> Generator:
+        """Poll a message id: received byte count if complete, else -1.
+
+        A completed id stays valid until mpc_wait'ed (MPL semantics:
+        status does not free the message)."""
+        req = self._msgs.get(msgid)
+        if req is None:
+            raise MplError(f"unknown message id {msgid}")
+        done = yield from self.comm.test(req)
+        if not done:
+            return -1
+        return req.status.count
+
+    def mpc_probe(self, source: int = DONTCARE,
+                  type_: int = DONTCARE) -> Generator:
+        """Nonblocking probe: (nbytes, source, type) or None."""
+        src = ANY_SOURCE if source == DONTCARE else source
+        tag = ANY_TAG if type_ == DONTCARE else type_
+        status = yield from self.comm.iprobe(src, tag)
+        if status is None:
+            return None
+        return status.count, status.source, status.tag
+
+    # --------------------------------------------------------- collectives
+    def mpc_sync(self) -> Generator:
+        """Barrier."""
+        yield from self.comm.barrier()
+
+    def mpc_combine(self, sendbuf: Any, recvbuf: Any, op: str = "sum") -> Generator:
+        """Combine (allreduce) — MPL's d_vadd/i_vmax family condensed."""
+        yield from self.comm.allreduce(sendbuf, recvbuf, op)
+
+    def mpc_concat(self, sendbuf: Any, recvbuf: Any) -> Generator:
+        """Concatenate every task's block in task order (allgather)."""
+        yield from self.comm.allgather(sendbuf, recvbuf)
+
+    def mpc_bcast(self, buf: Any, root: int = 0) -> Generator:
+        yield from self.comm.bcast(buf, root)
+
+
+def mpl_task(comm: Communicator) -> MplTask:
+    """Wrap an MPI communicator as an MPL task handle."""
+    return MplTask(comm)

@@ -1,0 +1,26 @@
+"""NAS Parallel Benchmarks 2.3 — mini-kernel reproductions.
+
+The paper's §6.2 runs the eight NPB 2.3 codes (EP, IS, CG, MG, FT, LU,
+BT, SP) on a 4-node SP to compare MPI-LAPI against the native MPI.
+These are faithful *mini* versions: each kernel keeps the original's
+communication pattern and message-size mix (which is what separates the
+two stacks) while solving a scaled-down problem whose answer is checked
+against a serial reference computed with numpy.
+
+Communication fingerprints:
+
+====  =========================================================
+EP    embarrassingly parallel; one tiny allreduce at the end
+IS    bucket sort; histogram allreduce + large alltoallv of keys
+CG    sparse CG; allgather of the iterate + dot-product allreduces
+MG    V-cycle; small nearest-neighbour ghost exchanges per level
+FT    3D FFT; whole-array alltoall transposes (huge messages)
+LU    SSOR wavefront; many small pipelined boundary messages
+BT    ADI; pipelined line solves, medium boundary blocks
+SP    ADI; transpose-based line solves (alltoall, medium)
+====  =========================================================
+"""
+
+from repro.nas.common import KERNELS, NasOutcome, run_kernel
+
+__all__ = ["KERNELS", "NasOutcome", "run_kernel"]

@@ -1,0 +1,79 @@
+"""Shared NAS-kernel infrastructure: compute-cost model, registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+__all__ = ["FLOP_US", "KERNELS", "NasOutcome", "compute", "register", "run_kernel"]
+
+#: simulated cost of one floating-point operation on the 332 MHz node
+#: (~125 Mflop/s sustained — P2SC/604e class for stride-1 kernels)
+FLOP_US = 0.008
+
+
+def compute(comm, flops: float) -> Generator:
+    """Charge simulated compute time for ``flops`` floating-point ops.
+
+    The actual (tiny) numpy arithmetic runs for real so results can be
+    verified; this charges the wall-clock the full-size computation
+    would have cost on the modelled node.
+    """
+    yield from comm.backend.cpu.execute("user", flops * FLOP_US)
+
+
+@dataclass
+class NasOutcome:
+    """What a kernel returns from each rank."""
+
+    name: str
+    verified: bool
+    checksum: float
+    detail: Any = None
+
+
+KERNELS: dict[str, Callable] = {}
+
+#: problem classes in the NPB spirit — S is the default (fast) size used
+#: by the benchmarks; W scales each kernel up several-fold
+KERNEL_CLASSES: dict[str, dict[str, dict]] = {
+    "ep": {"S": dict(n_pairs=4096), "W": dict(n_pairs=16384)},
+    "is": {"S": dict(n_local=8192), "W": dict(n_local=32768)},
+    "cg": {"S": dict(n=256, iters=25), "W": dict(n=512, iters=30)},
+    "mg": {"S": dict(n=512, cycles=3), "W": dict(n=2048, cycles=4)},
+    "ft": {"S": dict(shape=(16, 16, 16), steps=3),
+           "W": dict(shape=(32, 32, 16), steps=4)},
+    "lu": {"S": dict(n=64, sweeps=6), "W": dict(n=128, sweeps=8)},
+    "bt": {"S": dict(n=64, iters=4), "W": dict(n=128, iters=6)},
+    "sp": {"S": dict(n=64, iters=3), "W": dict(n=128, iters=4)},
+}
+
+
+def register(name: str):
+    def deco(fn):
+        KERNELS[name] = fn
+        return fn
+
+    return deco
+
+
+def run_kernel(name: str, cluster, cls: str = "S", **overrides):
+    """Run a registered kernel on a cluster; returns the RunResult.
+
+    ``cls`` selects a problem class ("S" or "W"); keyword overrides take
+    precedence over the class parameters.
+    """
+    try:
+        fn = KERNELS[name]
+    except KeyError:
+        raise KeyError(f"unknown NAS kernel {name!r}; have {sorted(KERNELS)}") from None
+    classes = KERNEL_CLASSES.get(name, {})
+    if cls not in classes and cls != "S":
+        raise KeyError(f"kernel {name!r} has no class {cls!r}")
+    kwargs = dict(classes.get(cls, {}))
+    kwargs.update(overrides)
+    return cluster.run(fn, **kwargs)
+
+
+# importing the kernel modules populates the registry
+from repro.nas import bt, cg, ep, ft, is_, lu, mg, sp  # noqa: E402,F401

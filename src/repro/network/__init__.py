@@ -1,0 +1,19 @@
+"""Simulated SP switch network: packets, fabric, and node adapters.
+
+The fabric models the SP's multistage packet-switched network: four
+source routes per node pair with differing congestion (skew + jitter),
+which is what produces genuine out-of-order packet arrival — the
+phenomenon both the Pipes layer (reordering byte stream) and LAPI
+(assemble-by-offset) must handle.  Packet loss can be injected for
+reliability testing.
+
+The adapter models the TB3/TBMX card: DMA engines between host memory
+and adapter FIFOs, bounded receive FIFOs (overflow drops packets), and
+either polled or interrupt-driven receive notification.
+"""
+
+from repro.network.adapter import Adapter
+from repro.network.fabric import SwitchFabric
+from repro.network.packet import Packet
+
+__all__ = ["Adapter", "Packet", "SwitchFabric"]

@@ -1,0 +1,207 @@
+"""The switch adapter (TB3/TBMX model).
+
+Send path (two-stage pipeline, so DMA overlaps link serialisation):
+
+    HAL --enqueue_send()--> send FIFO --[DMA engine]--> link queue
+        --[link engine: wire time]--> fabric.transmit()
+
+Receive path:
+
+    fabric --_fabric_deliver()--> adapter SRAM queue --[recv DMA engine]-->
+        host receive FIFO (bounded; overflow drops) --> notification
+
+Notification is either *polled* (``poll()`` / ``wait_rx()``) or
+*interrupt-driven*: when ``interrupt_mode`` is on and an ISR is
+registered, packet arrival schedules the ISR after
+``interrupt_latency_us``.  The ISR itself is protocol-supplied — the
+native stack installs one with the paper's hysteresis dwell, LAPI
+installs a plain drain loop.
+
+Payloads are snapshotted (``bytes``) when a packet is built, so the
+simulation always delivers the data as it was at send time; the *timing*
+of when the real hardware would have licensed buffer reuse is still
+reported through ``on_dma_done`` for origin-counter semantics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Generator, Optional
+
+from repro.machine.params import MachineParams
+from repro.machine.stats import NodeStats
+from repro.network.fabric import SwitchFabric
+from repro.network.packet import Packet
+from repro.sim import Channel, Environment, Event, Store
+
+__all__ = ["Adapter", "SendDescriptor"]
+
+
+class SendDescriptor:
+    """A packet queued for transmission plus its DMA-done signal."""
+
+    __slots__ = ("packet", "on_dma_done")
+
+    def __init__(self, packet: Packet, on_dma_done: Optional[Event] = None):
+        self.packet = packet
+        self.on_dma_done = on_dma_done
+
+
+class Adapter:
+    """One node's switch adapter."""
+
+    def __init__(
+        self,
+        env: Environment,
+        params: MachineParams,
+        fabric: SwitchFabric,
+        node_id: int,
+        stats: NodeStats,
+    ):
+        self.env = env
+        self.params = params
+        self.fabric = fabric
+        self.node_id = node_id
+        self.stats = stats
+
+        self._send_fifo = Channel(env, params.adapter_send_fifo, name=f"a{node_id}.tx")
+        self._link_q = Channel(env, 2, name=f"a{node_id}.link")
+        self._sram_rx = Store(env, name=f"a{node_id}.sram")
+        self._host_rx: deque[Packet] = deque()
+        self._rx_waiters: list[Event] = []
+
+        #: interrupt-driven receive notification
+        self.interrupt_mode: bool = False
+        self._isr: Optional[Callable[["Adapter"], Generator]] = None
+        self._isr_active = False
+
+        fabric.attach(self)
+        env.process(self._send_dma_engine(), name=f"a{node_id}.txdma")
+        env.process(self._link_engine(), name=f"a{node_id}.txlink")
+        env.process(self._recv_dma_engine(), name=f"a{node_id}.rxdma")
+
+    # ------------------------------------------------------------- send
+    def enqueue_send(self, packet: Packet, on_dma_done: Optional[Event] = None) -> Event:
+        """Queue a packet for transmission.
+
+        Returns the (possibly blocking) FIFO-admission event; yield it to
+        respect adapter back-pressure.  ``on_dma_done`` is succeeded when
+        the payload has left host memory (origin-buffer reuse point).
+        """
+        if packet.src != self.node_id:
+            raise ValueError(f"packet src {packet.src} != adapter node {self.node_id}")
+        return self._send_fifo.put(SendDescriptor(packet, on_dma_done))
+
+    def _send_dma_engine(self) -> Generator:
+        p = self.params
+        while True:
+            desc: SendDescriptor = yield self._send_fifo.get()
+            yield self.env.timeout(p.dma_cost(desc.packet.wire_bytes))
+            if desc.on_dma_done is not None and not desc.on_dma_done.triggered:
+                desc.on_dma_done.succeed()
+            yield self._link_q.put(desc.packet)
+
+    def _link_engine(self) -> Generator:
+        p = self.params
+        while True:
+            packet: Packet = yield self._link_q.get()
+            yield self.env.timeout(p.wire_cost(packet.wire_bytes))
+            packet.route = self.fabric.pick_route(packet.src, packet.dst)
+            self.stats.packets_sent += 1
+            self.stats.bytes_on_wire += packet.wire_bytes
+            self.stats.trace(
+                "adapter", "pkt_tx", dst=packet.dst, route=packet.route,
+                kind=packet.header.get("kind"), seq=packet.header.get("seq"),
+                bytes=packet.wire_bytes,
+            )
+            self.fabric.transmit(packet)
+
+    # ---------------------------------------------------------- receive
+    def _fabric_deliver(self, packet: Packet) -> None:
+        """Fabric hand-off: packet reached this adapter's SRAM."""
+        self._sram_rx.put(packet)
+
+    def _recv_dma_engine(self) -> Generator:
+        p = self.params
+        while True:
+            packet: Packet = yield self._sram_rx.get()
+            yield self.env.timeout(p.dma_cost(packet.wire_bytes))
+            if len(self._host_rx) >= p.adapter_recv_fifo:
+                # Host FIFO overflow: the adapter drops; reliability
+                # layers above recover via retransmission.
+                self.stats.packets_dropped += 1
+                self.stats.trace("adapter", "fifo_drop", src=packet.src,
+                                 seq=packet.header.get("seq"))
+                continue
+            self._host_rx.append(packet)
+            self.stats.packets_received += 1
+            self.stats.trace(
+                "adapter", "pkt_rx", src=packet.src,
+                kind=packet.header.get("kind"), seq=packet.header.get("seq"),
+            )
+            self._notify_rx()
+
+    def _notify_rx(self) -> None:
+        waiters, self._rx_waiters = self._rx_waiters, []
+        for ev in waiters:
+            if not ev.triggered:
+                ev.succeed()
+        if self.interrupt_mode and self._isr is not None and not self._isr_active:
+            self._isr_active = True
+            self.env.timeout(self.params.interrupt_latency_us)._add_callback(
+                self._start_isr
+            )
+
+    def _start_isr(self, _ev: Event) -> None:
+        self.env.process(self._isr_wrapper(), name=f"a{self.node_id}.isr")
+
+    def _isr_wrapper(self) -> Generator:
+        try:
+            yield from self._isr(self)
+        finally:
+            self._isr_active = False
+            if self._host_rx and self.interrupt_mode and self._isr is not None:
+                # Packets landed after the ISR drained and exited.
+                self._isr_active = True
+                self.env.timeout(self.params.interrupt_latency_us)._add_callback(
+                    self._start_isr
+                )
+
+    # ----------------------------------------------------------- polling
+    def poll(self) -> Optional[Packet]:
+        """Non-blocking pop of the next received packet (no cost charged;
+        the caller accounts its own poll cost)."""
+        if self._host_rx:
+            return self._host_rx.popleft()
+        return None
+
+    @property
+    def rx_pending(self) -> int:
+        return len(self._host_rx)
+
+    def wait_rx(self) -> Event:
+        """Event that fires when the next packet lands in the host FIFO.
+
+        Fires immediately if packets are already pending.
+        """
+        ev = self.env.event()
+        if self._host_rx:
+            ev.succeed()
+        else:
+            self._rx_waiters.append(ev)
+        return ev
+
+    # ------------------------------------------------------- interrupts
+    def set_interrupt_handler(
+        self, isr: Optional[Callable[["Adapter"], Generator]]
+    ) -> None:
+        """Install the protocol's interrupt service routine."""
+        self._isr = isr
+
+    def set_interrupt_mode(self, enabled: bool) -> None:
+        self.interrupt_mode = enabled
+        if enabled and self._host_rx and self._isr is not None and not self._isr_active:
+            self._isr_active = True
+            self.env.timeout(self.params.interrupt_latency_us)._add_callback(
+                self._start_isr
+            )

@@ -1,0 +1,92 @@
+"""The multistage switch fabric.
+
+Routing model: each (source, destination) flow round-robins over
+``params.route_count`` source routes, as the SP switch does.  Route ``r``
+carries a standing congestion penalty of ``r * route_skew_us`` plus a
+uniform jitter draw — so later packets of a message can overtake earlier
+ones when the skew/jitter exceeds the inter-packet serialisation gap.
+Loss is injected with ``params.packet_loss_rate``.
+
+The fabric owns no CPU time; link serialisation happens in the sending
+adapter and reception costs in the receiving one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.machine.params import MachineParams
+from repro.sim import Environment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.adapter import Adapter
+    from repro.network.packet import Packet
+
+__all__ = ["SwitchFabric"]
+
+
+class SwitchFabric:
+    """Connects node adapters; delivers packets with route-dependent delay."""
+
+    def __init__(
+        self,
+        env: Environment,
+        params: MachineParams,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        params.validate()
+        self.env = env
+        self.params = params
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._adapters: dict[int, "Adapter"] = {}
+        self._next_route: dict[tuple[int, int], int] = {}
+        #: total packets the fabric dropped (loss injection)
+        self.dropped = 0
+        #: total packets delivered
+        self.delivered = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, adapter: "Adapter") -> None:
+        if adapter.node_id in self._adapters:
+            raise ValueError(f"node {adapter.node_id} already attached")
+        self._adapters[adapter.node_id] = adapter
+
+    @property
+    def node_ids(self) -> list[int]:
+        return sorted(self._adapters)
+
+    def pick_route(self, src: int, dst: int) -> int:
+        """Round-robin source routing per flow."""
+        key = (src, dst)
+        r = self._next_route.get(key, 0)
+        self._next_route[key] = (r + 1) % self.params.route_count
+        return r
+
+    # ------------------------------------------------------------------
+    def transmit(self, packet: "Packet") -> None:
+        """Inject a fully serialised packet into the fabric.
+
+        Called by the sending adapter at the moment the last byte left
+        its link.  Delivery to the destination adapter is scheduled after
+        the route's traversal latency.
+        """
+        if packet.dst not in self._adapters:
+            raise KeyError(f"no adapter attached for node {packet.dst}")
+        p = self.params
+        if p.packet_loss_rate > 0.0 and self.rng.random() < p.packet_loss_rate:
+            self.dropped += 1
+            return
+        delay = (
+            p.route_base_us
+            + packet.route * p.route_skew_us
+            + (self.rng.random() * p.route_jitter_us if p.route_jitter_us > 0 else 0.0)
+        )
+        dst = self._adapters[packet.dst]
+
+        def arrive(_ev) -> None:
+            self.delivered += 1
+            dst._fabric_deliver(packet)
+
+        self.env.timeout(delay)._add_callback(arrive)

@@ -1,0 +1,42 @@
+"""The unit of transfer on the simulated switch."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_pkt_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One switch packet.
+
+    ``header`` is protocol metadata (Pipes or LAPI fields); its on-wire
+    size is accounted separately via ``header_bytes`` so both stacks pay
+    for their (different) header sizes, as the paper discusses in §6.1.
+
+    ``payload`` is *real* data — bytes move end to end through the
+    simulation, so data integrity is checked by the tests, not assumed.
+    """
+
+    src: int
+    dst: int
+    header: dict[str, Any]
+    payload: bytes
+    header_bytes: int
+    pkt_id: int = field(default_factory=lambda: next(_pkt_ids))
+    route: int = 0
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes serialised onto the link."""
+        return self.header_bytes + len(self.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = self.header.get("kind", "?")
+        return (
+            f"<Packet #{self.pkt_id} {self.src}->{self.dst} kind={kind} "
+            f"route={self.route} {len(self.payload)}B>"
+        )

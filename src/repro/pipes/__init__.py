@@ -1,0 +1,16 @@
+"""Pipes — the native stack's reliable ordered byte-stream layer.
+
+Per the paper's §2: the Pipes layer gives MPCI a reliable byte stream
+per peer, enforcing packet ordering at the receiving end (the switch has
+four routes per node pair and delivers out of order), using a sliding-
+window flow-control protocol with acknowledgement/retransmission.
+
+Framing note: MPCI frames ride the stream as packets whose headers carry
+frame metadata.  Ordering is enforced on the packet sequence exactly as
+the byte-stream would be; this keeps the timing and copy accounting
+faithful without byte-level frame reparsing.
+"""
+
+from repro.pipes.endpoint import PipeEndpoint
+
+__all__ = ["PipeEndpoint"]

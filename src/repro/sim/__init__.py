@@ -1,0 +1,43 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-coroutine event simulator in the style
+of SimPy, purpose-built for the MPI-LAPI reproduction.  Simulated time is
+a float in microseconds.
+
+Public surface:
+
+- :class:`Environment` — event loop, clock, process spawning.
+- :class:`Event` — one-shot triggerable event carrying a value or error.
+- :class:`Timeout` — event that fires after a delay.
+- :class:`Process` — a running generator; itself an event that triggers
+  when the generator returns.
+- :class:`AnyOf` / :class:`AllOf` — condition events.
+- :class:`Interrupt` — exception thrown into a process by
+  :meth:`Process.interrupt`.
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import Channel, Mutex, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Channel",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Mutex",
+    "Process",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,440 @@
+"""Core discrete-event machinery: environment, events, processes.
+
+Design notes
+------------
+* The event queue is a binary heap of ``(time, priority, seq, event)``
+  tuples.  ``seq`` is a monotonically increasing counter so that events
+  scheduled at the same instant fire in FIFO order — this makes every
+  simulation fully deterministic.
+* Processes are plain Python generators that ``yield`` events.  When the
+  yielded event triggers, the process is resumed with the event's value
+  (or the event's exception is thrown into it).
+* An event may be triggered at most once.  Triggering schedules its
+  callbacks; callbacks run when the event is popped from the queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (double trigger, etc.)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries an arbitrary payload describing why the process was
+    interrupted (e.g. a packet-arrival notification for a polling loop).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Priorities: lower value pops first among events at the same timestamp.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot event.
+
+    States: *pending* (created), *triggered* (value/exception set and the
+    event is on the queue), *processed* (callbacks have run).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        #: a failed event whose exception was delivered to (or absorbed by)
+        #: someone is "defused"; undefused failures crash the run.
+        self._defused = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("value not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._enqueue(self, 0.0, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._enqueue(self, 0.0, priority)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so it will not crash the simulation."""
+        self._defused = True
+
+    # -- callback plumbing -------------------------------------------------
+    def _add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run at the current instant via a proxy.
+            proxy = Event(self.env)
+            proxy._value, proxy._ok = self._value, self._ok
+            proxy.callbacks.append(fn)
+            proxy._triggered = True
+            self.env._enqueue(proxy, 0.0, URGENT)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """Event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._enqueue(self, delay, NORMAL)
+
+
+class Initialize(Event):
+    """Internal: starts a freshly created process at the current instant."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._triggered = True
+        env._enqueue(self, 0.0, URGENT)
+
+
+class Process(Event):
+    """Wraps a generator; is itself an event that fires on return.
+
+    The generator yields :class:`Event` instances.  The process resumes
+    with ``event.value`` when the event succeeds, or has the exception
+    thrown in when the event fails.
+    """
+
+    __slots__ = ("_gen", "_target", "name")
+
+    def __init__(self, env: "Environment", gen: Generator[Event, Any, Any], name: str = ""):
+        if not hasattr(gen, "throw"):
+            raise TypeError(f"{gen!r} is not a generator")
+        super().__init__(env)
+        self._gen = gen
+        self._target: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has terminated; cannot interrupt")
+        Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_proc = self
+        while True:
+            if event._ok:
+                try:
+                    next_ev = self._gen.send(event._value)
+                except StopIteration as exc:
+                    self._triggered = True
+                    self._ok = True
+                    self._value = exc.value
+                    self.env._enqueue(self, 0.0, NORMAL)
+                    break
+                except BaseException as exc:
+                    self._triggered = True
+                    self._ok = False
+                    self._value = exc
+                    self.env._enqueue(self, 0.0, NORMAL)
+                    break
+            else:
+                # Deliver the failure into the generator.
+                event._defused = True
+                try:
+                    next_ev = self._gen.throw(event._value)
+                except StopIteration as exc:
+                    self._triggered = True
+                    self._ok = True
+                    self._value = exc.value
+                    self.env._enqueue(self, 0.0, NORMAL)
+                    break
+                except BaseException as exc:
+                    self._triggered = True
+                    self._ok = False
+                    self._value = exc
+                    self.env._enqueue(self, 0.0, NORMAL)
+                    break
+
+            if not isinstance(next_ev, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_ev!r}"
+                )
+                event = Event(self.env)
+                event._triggered = True
+                event._ok = False
+                event._value = exc
+                continue
+            if next_ev._processed:
+                # Already done: loop immediately with its outcome.
+                event = next_ev
+                if not next_ev._ok:
+                    next_ev._defused = True
+                continue
+            self._target = next_ev
+            next_ev._add_callback(self._resume)
+            break
+        self.env._active_proc = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} {'done' if self._triggered else 'alive'}>"
+
+
+class Interruption(Event):
+    """Internal: delivers an :class:`Interrupt` to a process, urgently."""
+
+    __slots__ = ("_proc",)
+
+    def __init__(self, process: Process, cause: Any):
+        super().__init__(process.env)
+        self._proc = process
+        self._triggered = True
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self.callbacks.append(self._deliver)
+        process.env._enqueue(self, 0.0, URGENT)
+
+    def _deliver(self, event: Event) -> None:
+        proc = self._proc
+        if proc._triggered:
+            return  # terminated in the meantime; drop silently
+        # Detach the process from whatever it was waiting on.
+        target = proc._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(proc._resume)
+            except ValueError:
+                pass
+        proc._target = None
+        proc._resume(self)
+
+
+class Condition(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("events from different environments")
+        if not self._events:
+            self.succeed(self._collect())
+            return
+        for ev in self._events:
+            if ev._processed:
+                self._on_event(ev)
+            else:
+                ev._add_callback(self._on_event)
+
+    def _collect(self) -> dict:
+        return {
+            ev: ev._value for ev in self._events if ev._processed and ev._ok
+        }
+
+    def _on_event(self, ev: Event) -> None:
+        if self._triggered:
+            if not ev._ok:
+                ev._defused = True
+            return
+        if not ev._ok:
+            ev._defused = True
+            self.fail(ev._value)
+            return
+        self._count += 1
+        if self._check():
+            self.succeed(self._collect())
+
+    def _check(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(Condition):
+    """Triggers when any constituent event triggers."""
+
+    __slots__ = ()
+
+    def _check(self) -> bool:
+        return self._count >= 1
+
+
+class AllOf(Condition):
+    """Triggers when all constituent events have triggered."""
+
+    __slots__ = ()
+
+    def _check(self) -> bool:
+        return self._count >= len(self._events)
+
+
+class Environment:
+    """Simulation environment: clock plus the event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_proc: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (microseconds by convention)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_proc
+
+    # -- factories ---------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any], name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _enqueue(self, event: Event, delay: float, priority: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process one event off the queue."""
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the given time or event; return the event's value.
+
+        ``until=None`` runs until the queue drains.
+        """
+        stop_at = float("inf")
+        stop_event: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event._processed:
+                if not stop_event._ok:
+                    raise stop_event._value
+                return stop_event._value
+        elif until is not None:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise ValueError(f"until={stop_at} is in the past (now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event._processed:
+                if not stop_event._ok:
+                    stop_event._defused = True
+                    raise stop_event._value
+                return stop_event._value
+            if self.peek() > stop_at:
+                self._now = stop_at
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event._processed:
+                if not stop_event._ok:
+                    stop_event._defused = True
+                    raise stop_event._value
+                return stop_event._value
+            raise SimulationError(
+                f"event queue drained before {stop_event!r} triggered (deadlock?)"
+            )
+        if stop_at != float("inf"):
+            self._now = stop_at
+        return None

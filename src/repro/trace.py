@@ -1,0 +1,89 @@
+"""Structured event tracing across the protocol stacks.
+
+Enable with ``SPCluster(..., trace=True)``; every layer then emits
+timestamped records (packet departures/arrivals, header/completion
+handlers, matches, early arrivals, rendezvous control steps,
+retransmissions, interrupts...).  Useful for debugging protocol issues
+and for *seeing* the paper's Figures 3-9 as an actual timeline — see
+``examples/protocol_trace.py``.
+
+Records deliberately carry plain dict payloads so tests can assert on
+them without coupling to layer internals.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass
+class TraceRecord:
+    time: float
+    node: int
+    layer: str
+    event: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time:10.2f}us] n{self.node} {self.layer:8s} {self.event:20s} {extra}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries, optionally bounded."""
+
+    def __init__(self, clock, capacity: Optional[int] = None):
+        """``clock`` is any object with a ``now`` attribute (the sim env)."""
+        self._clock = clock
+        self.capacity = capacity
+        self.records: list[TraceRecord] = []
+        self.dropped = 0
+
+    def emit(self, node: int, layer: str, event: str, **fields: Any) -> None:
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(
+            TraceRecord(self._clock.now, node, layer, event, fields)
+        )
+
+    # ------------------------------------------------------------ queries
+    def filter(
+        self,
+        node: Optional[int] = None,
+        layer: Optional[str] = None,
+        event: Optional[str] = None,
+        **field_filters: Any,
+    ) -> list[TraceRecord]:
+        out = []
+        for r in self.records:
+            if node is not None and r.node != node:
+                continue
+            if layer is not None and r.layer != layer:
+                continue
+            if event is not None and r.event != event:
+                continue
+            if any(r.fields.get(k) != v for k, v in field_filters.items()):
+                continue
+            out.append(r)
+        return out
+
+    def events(self, **kw) -> list[str]:
+        """Event names in chronological order (after filtering)."""
+        return [r.event for r in self.filter(**kw)]
+
+    def summary(self) -> Counter:
+        """(layer, event) -> count."""
+        return Counter((r.layer, r.event) for r in self.records)
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        rows = self.records if limit is None else self.records[:limit]
+        return "\n".join(str(r) for r in rows)
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0

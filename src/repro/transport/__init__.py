@@ -1,0 +1,14 @@
+"""Shared transport machinery: sliding windows and duplicate detection.
+
+Both reliable layers in the paper's Figure 1 — the Pipes byte stream
+(native stack) and LAPI (new stack) — need the same core mechanics:
+a bounded sender window with cumulative acknowledgements and
+retransmission, and receiver-side duplicate suppression that tolerates
+the fabric's out-of-order delivery.  The *delivery discipline* differs
+(Pipes reorders into a byte stream; LAPI delivers immediately and
+assembles by offset), so that part stays in each protocol.
+"""
+
+from repro.transport.reliability import ReceiverLedger, SenderWindow
+
+__all__ = ["ReceiverLedger", "SenderWindow"]

@@ -1,0 +1,98 @@
+"""Pure (simulation-free) reliability state machines.
+
+These classes hold no simulated time; the protocol engines own timers
+and packets.  Keeping them pure makes the invariants property-testable
+with hypothesis (see ``tests/transport/``).
+
+Sequence numbers are per flow (one direction of one node pair), start
+at 0, and increase by 1 per data packet.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["ReceiverLedger", "SenderWindow"]
+
+
+class SenderWindow:
+    """Sender side: bounded in-flight window + cumulative-ack bookkeeping."""
+
+    def __init__(self, window: int):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.next_seq = 0
+        #: seq -> opaque retransmission payload (protocol keeps the packet)
+        self.unacked: dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return len(self.unacked)
+
+    @property
+    def can_send(self) -> bool:
+        return self.in_flight < self.window
+
+    def send(self, item: Any) -> int:
+        """Register a new data packet; returns its sequence number."""
+        if not self.can_send:
+            raise RuntimeError("window full: caller must wait for acks")
+        seq = self.next_seq
+        self.next_seq += 1
+        self.unacked[seq] = item
+        return seq
+
+    def on_ack(self, cum: int) -> int:
+        """Process a cumulative ack covering every seq <= cum.
+
+        Returns the number of packets newly acknowledged.
+        """
+        stale = [s for s in self.unacked if s <= cum]
+        for s in stale:
+            del self.unacked[s]
+        return len(stale)
+
+    def oldest_unacked(self) -> Optional[tuple[int, Any]]:
+        """The retransmission candidate, if any."""
+        if not self.unacked:
+            return None
+        seq = min(self.unacked)
+        return seq, self.unacked[seq]
+
+
+class ReceiverLedger:
+    """Receiver side: duplicate suppression + cumulative-ack computation.
+
+    Tolerates arbitrary reordering.  ``accept`` classifies a sequence
+    number; the protocol delivers only packets classified ``"new"``.
+    """
+
+    def __init__(self) -> None:
+        #: highest sequence number below which everything has arrived
+        self.cum = -1
+        #: received sequence numbers above the contiguous prefix
+        self._beyond: set[int] = set()
+
+    def accept(self, seq: int) -> str:
+        """Classify an arriving sequence number: ``"new"`` or ``"dup"``."""
+        if seq < 0:
+            raise ValueError("negative sequence number")
+        if seq <= self.cum or seq in self._beyond:
+            return "dup"
+        self._beyond.add(seq)
+        while (self.cum + 1) in self._beyond:
+            self.cum += 1
+            self._beyond.remove(self.cum)
+        return "new"
+
+    @property
+    def cum_ack(self) -> int:
+        """Value to put in a cumulative ack (−1 if nothing contiguous yet)."""
+        return self.cum
+
+    @property
+    def gap_count(self) -> int:
+        """How many packets sit above a hole (diagnostic)."""
+        return len(self._beyond)

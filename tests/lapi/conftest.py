@@ -1,0 +1,42 @@
+"""Shared rig for LAPI tests: N tasks on a simulated switch."""
+
+import numpy as np
+import pytest
+
+from repro.hal import Hal
+from repro.lapi import Lapi
+from repro.machine import Cpu, MachineParams, NodeStats
+from repro.network import Adapter, SwitchFabric
+from repro.sim import Environment
+
+
+class LapiRig:
+    def __init__(self, n=2, seed=7, enhanced=False, **overrides):
+        self.env = Environment()
+        self.params = MachineParams(**overrides)
+        self.fabric = SwitchFabric(self.env, self.params, rng=np.random.default_rng(seed))
+        self.stats = [NodeStats() for _ in range(n)]
+        self.cpus = [Cpu(self.env, self.params, self.stats[i]) for i in range(n)]
+        self.adapters = [
+            Adapter(self.env, self.params, self.fabric, i, self.stats[i]) for i in range(n)
+        ]
+        self.hals = [
+            Hal(self.env, self.cpus[i], self.adapters[i], self.params, self.stats[i],
+                self.params.lapi_header_bytes)
+            for i in range(n)
+        ]
+        self.tasks = [
+            Lapi(self.env, self.cpus[i], self.hals[i], self.params, self.stats[i],
+                 task_id=i, num_tasks=n, enhanced=enhanced)
+            for i in range(n)
+        ]
+
+    def run(self, *procs, until=1e7):
+        ps = [self.env.process(p) for p in procs]
+        self.env.run(until=until)
+        return ps
+
+
+@pytest.fixture
+def rig2():
+    return LapiRig(2)

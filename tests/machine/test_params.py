@@ -1,0 +1,61 @@
+"""Unit tests for the cost model."""
+
+import pytest
+
+from repro.machine import MachineParams
+
+
+def test_defaults_validate():
+    MachineParams().validate()
+
+
+def test_wire_cost_matches_bandwidth():
+    p = MachineParams(link_bandwidth_MBps=150.0)
+    # 150 MB/s == 150 bytes/us, so 1500 bytes take 10 us
+    assert p.wire_cost(1500) == pytest.approx(10.0)
+
+
+def test_copy_cost_has_setup_term():
+    p = MachineParams(copy_bandwidth_MBps=100.0, copy_setup_us=0.5)
+    assert p.copy_cost(0) == 0.0
+    assert p.copy_cost(100) == pytest.approx(0.5 + 1.0)
+
+
+def test_dma_cost():
+    p = MachineParams(dma_bandwidth_MBps=400.0, dma_setup_us=1.0)
+    assert p.dma_cost(400) == pytest.approx(1.0 + 1.0)
+
+
+def test_route_base_us():
+    p = MachineParams(switch_hop_us=0.2, switch_hops=5)
+    assert p.route_base_us == pytest.approx(1.0)
+
+
+def test_replace_returns_new_instance():
+    p = MachineParams()
+    q = p.replace(eager_limit=128)
+    assert q.eager_limit == 128
+    assert p.eager_limit == 4096
+    assert q is not p
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        dict(packet_payload=32),
+        dict(packet_loss_rate=1.0),
+        dict(packet_loss_rate=-0.1),
+        dict(route_count=0),
+        dict(eager_limit=-1),
+        dict(link_bandwidth_MBps=0),
+        dict(dma_bandwidth_MBps=-5),
+        dict(copy_bandwidth_MBps=0),
+        dict(pipe_window_pkts=0),
+        dict(lapi_window_pkts=0),
+        dict(lapi_header_bytes=2048),
+        dict(native_header_bytes=5000),
+    ],
+)
+def test_validate_rejects_bad_values(bad):
+    with pytest.raises(ValueError):
+        MachineParams(**bad).validate()

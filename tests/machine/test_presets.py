@@ -1,0 +1,30 @@
+"""Hardware presets (the paper's two node generations)."""
+
+from repro import MachineParams
+from repro.bench.harness import pingpong_us
+
+
+def test_presets_validate():
+    MachineParams.tbmx_332().validate()
+    MachineParams.tb3_p2sc().validate()
+
+
+def test_tbmx_is_smp():
+    assert MachineParams.tbmx_332().cpus_per_node == 4
+    assert MachineParams.tb3_p2sc().cpus_per_node == 1
+
+
+def test_tb3_is_slower_end_to_end():
+    new = pingpong_us("lapi-enhanced", 4096, reps=5, params=MachineParams())
+    old = pingpong_us("lapi-enhanced", 4096, reps=5,
+                      params=MachineParams.tb3_p2sc())
+    assert old > new
+
+
+def test_paper_shape_holds_on_tb3_too():
+    """The MPI-LAPI advantage is generational-portable: it holds on the
+    older TB3/P2SC nodes as well (slower memcpy makes it bigger)."""
+    p = MachineParams.tb3_p2sc()
+    native = pingpong_us("native", 4096, reps=5, params=p)
+    lapi = pingpong_us("lapi-enhanced", 4096, reps=5, params=p)
+    assert lapi < native

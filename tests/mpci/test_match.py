@@ -1,0 +1,141 @@
+"""Unit + property tests for envelope matching."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpci import (
+    ANY_SOURCE,
+    ANY_TAG,
+    EarlyArrivalQueue,
+    Envelope,
+    PostedReceiveQueue,
+    envelope_matches,
+)
+
+
+def test_exact_match():
+    env = Envelope(context=5, src=2, tag=9)
+    assert envelope_matches(5, 2, 9, env)
+
+
+def test_context_must_match_even_with_wildcards():
+    env = Envelope(context=5, src=2, tag=9)
+    assert not envelope_matches(6, ANY_SOURCE, ANY_TAG, env)
+
+
+def test_wildcards():
+    env = Envelope(context=1, src=3, tag=7)
+    assert envelope_matches(1, ANY_SOURCE, 7, env)
+    assert envelope_matches(1, 3, ANY_TAG, env)
+    assert envelope_matches(1, ANY_SOURCE, ANY_TAG, env)
+    assert not envelope_matches(1, 4, ANY_TAG, env)
+    assert not envelope_matches(1, ANY_SOURCE, 8, env)
+
+
+def test_posted_queue_fifo_match_and_inspection_count():
+    q = PostedReceiveQueue()
+    q.post(1, 0, 5, "r1")
+    q.post(1, 0, 6, "r2")
+    q.post(1, 0, 5, "r3")
+    handle, inspected = q.match(Envelope(1, 0, 5))
+    assert handle == "r1"
+    assert inspected == 1
+    handle, inspected = q.match(Envelope(1, 0, 5))
+    assert handle == "r3"
+    assert inspected == 2
+    assert len(q) == 1
+
+
+def test_posted_queue_no_match():
+    q = PostedReceiveQueue()
+    q.post(1, 0, 5, "r1")
+    handle, inspected = q.match(Envelope(1, 0, 99))
+    assert handle is None
+    assert inspected == 1
+    assert len(q) == 1
+
+
+def test_posted_queue_wildcard_recv_matches_any():
+    q = PostedReceiveQueue()
+    q.post(1, ANY_SOURCE, ANY_TAG, "rw")
+    handle, _ = q.match(Envelope(1, 7, 123))
+    assert handle == "rw"
+
+
+def test_posted_queue_cancel():
+    q = PostedReceiveQueue()
+    q.post(1, 0, 5, "r1")
+    assert q.remove("r1")
+    assert not q.remove("r1")
+    assert len(q) == 0
+
+
+def test_early_queue_fifo_order_is_matching_order():
+    q = EarlyArrivalQueue()
+    q.add(Envelope(1, 0, 5), "m1")
+    q.add(Envelope(1, 0, 5), "m2")
+    got, _ = q.match(1, 0, 5)
+    assert got == (Envelope(1, 0, 5), "m1")
+    got, _ = q.match(1, ANY_SOURCE, ANY_TAG)
+    assert got == (Envelope(1, 0, 5), "m2")
+    assert len(q) == 0
+
+
+def test_early_queue_peek_is_non_destructive():
+    q = EarlyArrivalQueue()
+    q.add(Envelope(1, 2, 3), "m")
+    got, _ = q.peek_match(1, ANY_SOURCE, 3)
+    assert got is not None
+    assert len(q) == 1
+
+
+def test_early_queue_no_match_returns_none():
+    q = EarlyArrivalQueue()
+    q.add(Envelope(1, 2, 3), "m")
+    got, inspected = q.match(2, ANY_SOURCE, ANY_TAG)
+    assert got is None
+    assert inspected == 1
+
+
+envelopes = st.builds(
+    Envelope,
+    context=st.integers(min_value=0, max_value=3),
+    src=st.integers(min_value=0, max_value=3),
+    tag=st.integers(min_value=0, max_value=3),
+)
+
+
+@given(st.lists(envelopes, max_size=30), envelopes)
+def test_match_returns_earliest_matching_entry(entries, probe):
+    """Property: EA matching always returns the first (oldest) match —
+    the non-overtaking guarantee."""
+    q = EarlyArrivalQueue()
+    for i, env in enumerate(entries):
+        q.add(env, i)
+    got, _ = q.match(probe.context, probe.src, probe.tag)
+    expected = next(
+        (
+            (env, i)
+            for i, env in enumerate(entries)
+            if envelope_matches(probe.context, probe.src, probe.tag, env)
+        ),
+        None,
+    )
+    assert got == expected
+
+
+@given(st.lists(envelopes, max_size=30))
+def test_posted_and_early_queues_conserve_entries(entries):
+    """Matching with the exact envelope drains queues completely and in
+    insertion order."""
+    q = EarlyArrivalQueue()
+    for i, env in enumerate(entries):
+        q.add(env, i)
+    seen = []
+    for env in entries:
+        got, _ = q.match(env.context, env.src, env.tag)
+        assert got is not None
+        seen.append(got[1])
+    assert len(q) == 0
+    # every handle seen exactly once
+    assert sorted(seen) == list(range(len(entries)))

@@ -1,0 +1,111 @@
+"""API misuse and diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro import SPCluster
+from repro.cluster.cluster import DeadlockError
+from repro.mpi import MpiError
+
+
+def run(n, program):
+    return SPCluster(n).run(program)
+
+
+def test_negative_tag_rejected():
+    def program(comm, rank, size):
+        try:
+            yield from comm.send(b"x", dest=1 - rank, tag=-5)
+        except MpiError:
+            return "caught"
+
+    assert run(2, program).values[0] == "caught"
+
+
+def test_dest_rank_out_of_range():
+    def program(comm, rank, size):
+        try:
+            yield from comm.send(b"x", dest=7)
+        except MpiError:
+            return "caught"
+
+    assert run(2, program).values == ["caught", "caught"]
+
+
+def test_source_rank_out_of_range():
+    def program(comm, rank, size):
+        buf = bytearray(1)
+        try:
+            yield from comm.recv(buf, source=9)
+        except MpiError:
+            return "caught"
+
+    assert run(2, program).values[0] == "caught"
+
+
+def test_waitany_empty_rejected():
+    def program(comm, rank, size):
+        yield comm.env.timeout(0)
+        try:
+            yield from comm.waitany([])
+        except MpiError:
+            return "caught"
+
+    assert run(1, program).values[0] == "caught"
+
+
+def test_split_without_collective_guides_user():
+    def program(comm, rank, size):
+        yield comm.env.timeout(0)
+        try:
+            comm.split(0)
+        except MpiError as e:
+            return "split_collective" in str(e)
+
+    assert run(2, program).values[0] is True
+
+
+def test_deadlock_error_names_stuck_ranks():
+    def program(comm, rank, size):
+        buf = bytearray(4)
+        if rank == 0:
+            yield from comm.send(b"ok!!", dest=1)
+            return None
+        yield from comm.recv(buf, source=0)
+        # rank 1 now waits for a message nobody sends
+        yield from comm.recv(buf, source=0, tag=42)
+
+    with pytest.raises(DeadlockError, match=r"rank\(s\) \[1\]"):
+        run(2, program)
+
+
+def test_wtime_advances():
+    def program(comm, rank, size):
+        t0 = comm.wtime()
+        yield comm.env.timeout(1_000_000.0)  # 1 simulated second
+        return comm.wtime() - t0
+
+    res = run(1, program)
+    assert res.values[0] == pytest.approx(1.0)
+
+
+def test_buffer_attach_twice_rejected():
+    def program(comm, rank, size):
+        yield comm.env.timeout(0)
+        comm.buffer_attach(1024)
+        try:
+            comm.buffer_attach(1024)
+        except Exception as e:
+            return type(e).__name__
+
+    assert run(1, program).values[0] == "MpiFatal"
+
+
+def test_bsend_without_attach_rejected():
+    def program(comm, rank, size):
+        try:
+            yield from comm.bsend(b"x" * 100, dest=1 - rank)
+        except Exception as e:
+            return "exceeds attached" in str(e)
+
+    assert run(2, program).values[0] is True

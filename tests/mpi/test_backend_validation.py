@@ -1,0 +1,47 @@
+"""Backend construction invariants."""
+
+import pytest
+
+from repro.hal import Hal
+from repro.lapi import Lapi
+from repro.machine import Cpu, MachineParams, NodeStats
+from repro.mpi.backends import LapiBackend
+from repro.network import Adapter, SwitchFabric
+from repro.sim import Environment
+
+
+def make_lapi(enhanced):
+    env = Environment()
+    params = MachineParams()
+    stats = NodeStats()
+    cpu = Cpu(env, params, stats)
+    fabric = SwitchFabric(env, params)
+    adapter = Adapter(env, params, fabric, 0, stats)
+    hal = Hal(env, cpu, adapter, params, stats, params.lapi_header_bytes)
+    lapi = Lapi(env, cpu, hal, params, stats, task_id=0, num_tasks=2,
+                enhanced=enhanced)
+    return env, cpu, params, stats, lapi
+
+
+def test_unknown_variant_rejected():
+    env, cpu, params, stats, lapi = make_lapi(False)
+    with pytest.raises(ValueError, match="unknown MPI-LAPI variant"):
+        LapiBackend(env, cpu, params, stats, 0, 2, lapi, variant="turbo")
+
+
+def test_enhanced_variant_requires_enhanced_lapi():
+    env, cpu, params, stats, lapi = make_lapi(False)
+    with pytest.raises(ValueError, match="requires an enhanced LAPI"):
+        LapiBackend(env, cpu, params, stats, 0, 2, lapi, variant="enhanced")
+
+
+def test_base_variant_rejects_enhanced_lapi():
+    env, cpu, params, stats, lapi = make_lapi(True)
+    with pytest.raises(ValueError, match="stock LAPI"):
+        LapiBackend(env, cpu, params, stats, 0, 2, lapi, variant="base")
+
+
+def test_backend_names():
+    env, cpu, params, stats, lapi = make_lapi(True)
+    b = LapiBackend(env, cpu, params, stats, 0, 2, lapi, variant="enhanced")
+    assert b.name == "lapi-enhanced"

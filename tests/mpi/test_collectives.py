@@ -1,0 +1,224 @@
+"""Collective operations on 2–5 ranks, both stack families."""
+
+import numpy as np
+import pytest
+
+from repro import SPCluster
+
+STACKS = ("native", "lapi-enhanced")
+SIZES = (2, 3, 4, 5)
+
+
+def run(n, stack, program, **kw):
+    return SPCluster(n, stack=stack, **kw).run(program)
+
+
+@pytest.mark.parametrize("stack", STACKS)
+@pytest.mark.parametrize("n", SIZES)
+def test_barrier_synchronises(stack, n):
+    def program(comm, rank, size):
+        yield comm.env.timeout(rank * 500.0)
+        yield from comm.barrier()
+        return comm.env.now
+
+    res = run(n, stack, program)
+    # nobody leaves before the slowest rank arrived
+    assert min(res.values) >= (n - 1) * 500.0
+
+
+@pytest.mark.parametrize("stack", STACKS)
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("root", [0, 1])
+def test_bcast(stack, n, root):
+    def program(comm, rank, size):
+        buf = np.zeros(257, dtype=np.int32)
+        if rank == root:
+            buf[:] = np.arange(257)
+        yield from comm.bcast(buf, root=root)
+        return int(buf.sum())
+
+    res = run(n, stack, program)
+    expected = int(np.arange(257).sum())
+    assert res.values == [expected] * n
+
+
+@pytest.mark.parametrize("stack", STACKS)
+@pytest.mark.parametrize("n", SIZES)
+def test_reduce_sum(stack, n):
+    def program(comm, rank, size):
+        v = np.full(10, rank + 1, dtype=np.int64)
+        out = np.zeros(10, dtype=np.int64)
+        yield from comm.reduce(v, out if rank == 0 else None, op="sum", root=0)
+        return int(out[0])
+
+    res = run(n, stack, program)
+    assert res.values[0] == sum(range(1, n + 1))
+
+
+@pytest.mark.parametrize("op,expected", [("max", 4), ("min", 1), ("prod", 24)])
+def test_reduce_other_ops(op, expected):
+    def program(comm, rank, size):
+        v = np.array([rank + 1], dtype=np.int64)
+        out = np.zeros(1, dtype=np.int64)
+        yield from comm.reduce(v, out if rank == 0 else None, op=op, root=0)
+        return int(out[0])
+
+    res = run(4, "lapi-enhanced", program)
+    assert res.values[0] == expected
+
+
+@pytest.mark.parametrize("stack", STACKS)
+@pytest.mark.parametrize("n", SIZES)
+def test_allreduce(stack, n):
+    def program(comm, rank, size):
+        v = np.array([rank, rank * 2], dtype=np.float64)
+        out = np.zeros(2, dtype=np.float64)
+        yield from comm.allreduce(v, out, op="sum")
+        return out.tolist()
+
+    res = run(n, stack, program)
+    total = sum(range(n))
+    for v in res.values:
+        assert v == [total, total * 2]
+
+
+@pytest.mark.parametrize("stack", STACKS)
+@pytest.mark.parametrize("n", SIZES)
+def test_gather(stack, n):
+    def program(comm, rank, size):
+        v = np.full(4, rank, dtype=np.int32)
+        out = np.zeros((size, 4), dtype=np.int32) if rank == 0 else None
+        yield from comm.gather(v, out, root=0)
+        return out.tolist() if rank == 0 else None
+
+    res = run(n, stack, program)
+    assert res.values[0] == [[r] * 4 for r in range(n)]
+
+
+@pytest.mark.parametrize("stack", STACKS)
+@pytest.mark.parametrize("n", SIZES)
+def test_scatter(stack, n):
+    def program(comm, rank, size):
+        src = None
+        if rank == 0:
+            src = np.arange(size * 3, dtype=np.int32).reshape(size, 3) * 10
+        out = np.zeros(3, dtype=np.int32)
+        yield from comm.scatter(src, out, root=0)
+        return out.tolist()
+
+    res = run(n, stack, program)
+    for r, v in enumerate(res.values):
+        assert v == [(r * 3 + i) * 10 for i in range(3)]
+
+
+@pytest.mark.parametrize("stack", STACKS)
+@pytest.mark.parametrize("n", SIZES)
+def test_allgather(stack, n):
+    def program(comm, rank, size):
+        v = np.array([rank * 7], dtype=np.int64)
+        out = np.zeros((size, 1), dtype=np.int64)
+        yield from comm.allgather(v, out)
+        return out.ravel().tolist()
+
+    res = run(n, stack, program)
+    for v in res.values:
+        assert v == [r * 7 for r in range(n)]
+
+
+@pytest.mark.parametrize("stack", STACKS)
+@pytest.mark.parametrize("n", SIZES)
+def test_alltoall(stack, n):
+    def program(comm, rank, size):
+        src = np.array([[rank * 100 + c] for c in range(size)], dtype=np.int64)
+        out = np.zeros((size, 1), dtype=np.int64)
+        yield from comm.alltoall(src, out)
+        return out.ravel().tolist()
+
+    res = run(n, stack, program)
+    for r, v in enumerate(res.values):
+        assert v == [c * 100 + r for c in range(n)]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_alltoallv_bytes(n):
+    def program(comm, rank, size):
+        # rank r sends (d+1) copies of byte r to destination d
+        chunks = [bytes([rank]) * (d + 1) for d in range(size)]
+        sendcounts = [len(c) for c in chunks]
+        sendbuf = b"".join(chunks)
+        recvcounts = [rank + 1] * size
+        recvbuf = bytearray(sum(recvcounts))
+        yield from comm.alltoallv(sendbuf, sendcounts, recvbuf, recvcounts)
+        return bytes(recvbuf)
+
+    res = run(n, "lapi-enhanced", program)
+    for r, v in enumerate(res.values):
+        expected = b"".join(bytes([s]) * (r + 1) for s in range(n))
+        assert v == expected
+
+
+@pytest.mark.parametrize("stack", STACKS)
+def test_scan(stack):
+    def program(comm, rank, size):
+        v = np.array([rank + 1], dtype=np.int64)
+        out = np.zeros(1, dtype=np.int64)
+        yield from comm.scan(v, out, op="sum")
+        return int(out[0])
+
+    res = run(4, stack, program)
+    assert res.values == [1, 3, 6, 10]
+
+
+def test_bcast_large_payload_rendezvous():
+    def program(comm, rank, size):
+        buf = np.zeros(32 * 1024, dtype=np.uint8)
+        if rank == 0:
+            buf[:] = np.arange(32 * 1024, dtype=np.uint64).astype(np.uint8)
+        yield from comm.bcast(buf, root=0)
+        return int(buf[12345])
+
+    res = run(4, "lapi-enhanced", program)
+    expected = int(np.uint8(12345 % 256))
+    assert all(v == expected for v in res.values)
+
+
+def test_unknown_reduce_op_rejected():
+    def program(comm, rank, size):
+        out = np.zeros(1)
+        yield from comm.allreduce(np.zeros(1), out, op="bogus")
+
+    with pytest.raises(ValueError, match="unknown reduction"):
+        run(2, "lapi-enhanced", program)
+
+
+def test_comm_split_and_sub_communication():
+    def program(comm, rank, size):
+        sub = yield from comm.split_collective(color=rank % 2, key=rank)
+        v = np.array([rank], dtype=np.int64)
+        out = np.zeros((sub.size, 1), dtype=np.int64)
+        yield from sub.allgather(v, out)
+        return (sub.rank, sub.size, out.ravel().tolist())
+
+    res = run(4, "lapi-enhanced", program)
+    assert res.values[0] == (0, 2, [0, 2])
+    assert res.values[1] == (0, 2, [1, 3])
+    assert res.values[2] == (1, 2, [0, 2])
+    assert res.values[3] == (1, 2, [1, 3])
+
+
+def test_comm_dup_isolates_traffic():
+    def program(comm, rank, size):
+        dup = comm.dup()
+        # same-tag messages on different communicators must not cross
+        if rank == 0:
+            yield from comm.send(b"on-world", dest=1, tag=7)
+            yield from dup.send(b"on-dup!!", dest=1, tag=7)
+            return None
+        buf1 = bytearray(8)
+        buf2 = bytearray(8)
+        yield from dup.recv(buf2, source=0, tag=7)
+        yield from comm.recv(buf1, source=0, tag=7)
+        return (bytes(buf1), bytes(buf2))
+
+    res = run(2, "lapi-enhanced", program)
+    assert res.values[1] == (b"on-world", b"on-dup!!")

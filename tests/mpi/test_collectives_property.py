@@ -1,0 +1,113 @@
+"""Property-based collective tests: results must equal the numpy
+equivalent for arbitrary data, sizes and roots."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SPCluster
+
+
+def _run(n, program):
+    return SPCluster(n, stack="lapi-enhanced").run(program)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    length=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=999),
+    op=st.sampled_from(["sum", "max", "min"]),
+)
+def test_allreduce_matches_numpy(n, length, seed, op):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(-100, 100, (n, length)).astype(np.float64)
+
+    def program(comm, rank, size):
+        out = np.zeros(length)
+        yield from comm.allreduce(data[rank], out, op=op)
+        return out.tolist()
+
+    res = _run(n, program)
+    expected = {"sum": data.sum(0), "max": data.max(0), "min": data.min(0)}[op]
+    for v in res.values:
+        np.testing.assert_allclose(v, expected)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    root=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_bcast_matches_root_data(n, root, seed):
+    root = root % n
+    rng = np.random.default_rng(seed)
+    payload = rng.integers(0, 256, 100, dtype=np.uint8)
+
+    def program(comm, rank, size):
+        buf = payload.copy() if rank == root else np.zeros(100, dtype=np.uint8)
+        yield from comm.bcast(buf, root=root)
+        return buf.tolist()
+
+    res = _run(n, program)
+    for v in res.values:
+        assert v == payload.tolist()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_alltoall_is_a_global_transpose(n, seed):
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(0, 1000, (n, n)).astype(np.int64)
+
+    def program(comm, rank, size):
+        out = np.zeros((size, 1), dtype=np.int64)
+        yield from comm.alltoall(matrix[rank].reshape(size, 1), out)
+        return out.ravel().tolist()
+
+    res = _run(n, program)
+    for r, v in enumerate(res.values):
+        assert v == matrix[:, r].tolist()
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_scan_is_prefix_sum(n, seed):
+    rng = np.random.default_rng(seed)
+    vals = rng.integers(-50, 50, n).astype(np.int64)
+
+    def program(comm, rank, size):
+        out = np.zeros(1, dtype=np.int64)
+        yield from comm.scan(np.array([vals[rank]]), out)
+        return int(out[0])
+
+    res = _run(n, program)
+    assert res.values == np.cumsum(vals).tolist()
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=99),
+)
+def test_gather_scatter_roundtrip(n, seed):
+    rng = np.random.default_rng(seed)
+    table = rng.integers(0, 255, (n, 8)).astype(np.int32)
+
+    def program(comm, rank, size):
+        mine = np.zeros(8, dtype=np.int32)
+        yield from comm.scatter(table if rank == 0 else None, mine, root=0)
+        back = np.zeros((size, 8), dtype=np.int32) if rank == 0 else None
+        yield from comm.gather(mine, back, root=0)
+        return back.tolist() if rank == 0 else None
+
+    res = _run(n, program)
+    assert res.values[0] == table.tolist()

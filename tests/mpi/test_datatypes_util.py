@@ -1,0 +1,59 @@
+"""Buffer utility tests: as_bytes / as_writable / nbytes_of."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.datatypes import as_bytes, as_writable, nbytes_of
+
+
+def test_as_bytes_variants():
+    assert as_bytes(b"abc") == b"abc"
+    assert as_bytes(bytearray(b"abc")) == b"abc"
+    assert as_bytes(memoryview(b"abc")) == b"abc"
+    arr = np.array([1, 2], dtype=np.int32)
+    assert as_bytes(arr) == arr.tobytes()
+
+
+def test_as_bytes_noncontiguous_array():
+    arr = np.arange(16, dtype=np.uint8).reshape(4, 4)
+    col = arr[:, 1]
+    assert as_bytes(col) == bytes([1, 5, 9, 13])
+
+
+def test_as_bytes_scalar():
+    assert len(as_bytes(np.float64(1.5))) == 8
+
+
+def test_as_bytes_rejects_junk():
+    with pytest.raises(TypeError):
+        as_bytes({"not": "a buffer"})
+
+
+def test_as_writable_numpy():
+    arr = np.zeros(4, dtype=np.int32)
+    view = as_writable(arr)
+    assert len(view) == 16
+    view[0:4] = b"\x07\x00\x00\x00"
+    assert arr[0] == 7
+
+
+def test_as_writable_rejects_readonly():
+    with pytest.raises(TypeError):
+        as_writable(b"immutable")
+    with pytest.raises(ValueError):
+        as_writable(memoryview(b"xx"))
+    # writable inputs pass
+    assert len(as_writable(bytearray(b"xx"))) == 2
+
+
+def test_as_writable_rejects_noncontiguous():
+    arr = np.arange(16, dtype=np.uint8).reshape(4, 4)
+    with pytest.raises(ValueError):
+        as_writable(arr[:, 1])
+
+
+def test_nbytes_of():
+    assert nbytes_of(b"abcd") == 4
+    assert nbytes_of(np.zeros(3, dtype=np.float64)) == 24
+    with pytest.raises(TypeError):
+        nbytes_of(42)

@@ -1,0 +1,163 @@
+"""Extended MPI API: gatherv/scatterv, reduce_scatter, cancel,
+persistent requests."""
+
+import numpy as np
+import pytest
+
+from repro import SPCluster
+from repro.mpi import MpiError
+
+
+def run(n, program, stack="lapi-enhanced"):
+    return SPCluster(n, stack=stack).run(program)
+
+
+def test_gatherv_unequal_contributions():
+    def program(comm, rank, size):
+        mine = bytes([rank + 65]) * (rank + 1)  # 'A', 'BB', 'CCC'...
+        counts = [r + 1 for r in range(size)]
+        out = bytearray(sum(counts)) if rank == 0 else None
+        yield from comm.gatherv(mine, out, counts if rank == 0 else None, root=0)
+        return bytes(out) if rank == 0 else None
+
+    res = run(4, program)
+    assert res.values[0] == b"A" + b"BB" + b"CCC" + b"DDDD"
+
+
+def test_scatterv_unequal_chunks():
+    def program(comm, rank, size):
+        counts = [r + 2 for r in range(size)]
+        if rank == 0:
+            src = b"".join(bytes([r + 48]) * c for r, c in enumerate(counts))
+        else:
+            src = None
+        out = bytearray(rank + 2)
+        yield from comm.scatterv(src, counts if rank == 0 else None, out, root=0)
+        return bytes(out)
+
+    res = run(3, program)
+    assert res.values == [b"00", b"111", b"2222"]
+
+
+def test_gatherv_validates_counts():
+    def program(comm, rank, size):
+        out = bytearray(2) if rank == 0 else None
+        yield from comm.gatherv(b"xx", out, [99, 99] if rank == 0 else None)
+
+    with pytest.raises(ValueError):
+        run(2, program)
+
+
+def test_reduce_scatter_block():
+    def program(comm, rank, size):
+        src = np.full((size, 4), float(rank + 1))
+        out = np.zeros(4)
+        yield from comm.reduce_scatter(src, out, op="sum")
+        return out.tolist()
+
+    res = run(3, program)
+    for v in res.values:
+        assert v == [6.0] * 4  # 1+2+3
+
+
+def test_cancel_posted_receive():
+    def program(comm, rank, size):
+        if rank == 1:
+            buf = bytearray(8)
+            req = yield from comm.irecv(buf, source=0, tag=99)
+            ok = yield from comm.cancel(req)
+            assert ok
+            assert req.cancelled and req.done
+            # the other message (tag 1) must still match its own receive
+            buf2 = bytearray(8)
+            yield from comm.recv(buf2, source=0, tag=1)
+            return bytes(buf2)
+        yield from comm.send(b"realmsg!", dest=1, tag=1)
+        return None
+
+    res = run(2, program)
+    assert res.values[1] == b"realmsg!"
+
+
+def test_cancel_completed_receive_fails():
+    def program(comm, rank, size):
+        if rank == 1:
+            buf = bytearray(4)
+            req = yield from comm.irecv(buf, source=0)
+            yield from comm.wait(req)
+            ok = yield from comm.cancel(req)
+            return ok
+        yield from comm.send(b"data", dest=1)
+        return None
+
+    assert run(2, program).values[1] is False
+
+
+def test_cancel_send_rejected():
+    def program(comm, rank, size):
+        if rank == 0:
+            req = yield from comm.isend(b"x", dest=1)
+            try:
+                yield from comm.cancel(req)
+            except MpiError:
+                yield from comm.wait(req)
+                return "rejected"
+        else:
+            buf = bytearray(1)
+            yield from comm.recv(buf, source=0)
+        return None
+
+    assert run(2, program).values[0] == "rejected"
+
+
+def test_persistent_requests_reused_across_iterations():
+    def program(comm, rank, size):
+        iters = 5
+        if rank == 0:
+            buf = np.zeros(16, dtype=np.uint8)
+            preq = comm.send_init(buf, dest=1, tag=4)
+            for i in range(iters):
+                buf[:] = i  # refresh contents each iteration
+                yield from preq.start()
+                yield from preq.wait()
+            return None
+        buf = np.zeros(16, dtype=np.uint8)
+        preq = comm.recv_init(buf, source=0, tag=4)
+        got = []
+        for _ in range(iters):
+            yield from preq.start()
+            yield from preq.wait()
+            got.append(int(buf[0]))
+        return got
+
+    res = run(2, program)
+    assert res.values[1] == [0, 1, 2, 3, 4]
+
+
+def test_persistent_double_start_rejected():
+    def program(comm, rank, size):
+        if rank == 1:
+            buf = bytearray(4)
+            preq = comm.recv_init(buf, source=0)
+            yield from preq.start()
+            try:
+                yield from preq.start()
+            except MpiError:
+                yield from preq.wait()
+                return "caught"
+        else:
+            yield from comm.send(b"data", dest=1)
+        return None
+
+    assert run(2, program).values[1] == "caught"
+
+
+def test_persistent_wait_before_start_rejected():
+    def program(comm, rank, size):
+        preq = comm.recv_init(bytearray(4), source=0)
+        try:
+            yield from preq.wait()
+        except MpiError:
+            return "caught"
+
+    assert run(1, program).values[0] == "caught"

@@ -1,0 +1,37 @@
+"""Table 2 translation unit tests."""
+
+import pytest
+
+from repro.mpi.protocol import (
+    BUFFERED,
+    EAGER,
+    READY,
+    RENDEZVOUS,
+    STANDARD,
+    SYNCHRONOUS,
+    select_protocol,
+)
+
+
+@pytest.mark.parametrize(
+    "mode,size,limit,expected",
+    [
+        (STANDARD, 0, 4096, EAGER),
+        (STANDARD, 4096, 4096, EAGER),
+        (STANDARD, 4097, 4096, RENDEZVOUS),
+        (BUFFERED, 4096, 4096, EAGER),
+        (BUFFERED, 4097, 4096, RENDEZVOUS),
+        (READY, 10**9, 4096, EAGER),
+        (SYNCHRONOUS, 0, 4096, RENDEZVOUS),
+        (SYNCHRONOUS, 1, 10**9, RENDEZVOUS),
+        (STANDARD, 1, 0, RENDEZVOUS),  # eager limit zero: everything rendezvous
+        (STANDARD, 0, 0, EAGER),
+    ],
+)
+def test_table2(mode, size, limit, expected):
+    assert select_protocol(mode, size, limit) == expected
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        select_protocol("express", 1, 4096)

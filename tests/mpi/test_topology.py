@@ -1,0 +1,137 @@
+"""Cartesian topology helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import SPCluster
+from repro.mpi.topology import CartComm, dims_create
+
+
+# ----------------------------------------------------------- dims_create
+
+
+def test_dims_create_balanced():
+    assert dims_create(4, 2) == [2, 2]
+    assert dims_create(8, 3) == [2, 2, 2]
+    assert dims_create(12, 2) == [4, 3]
+    assert dims_create(6, 1) == [6]
+    assert dims_create(7, 2) == [7, 1]
+
+
+@given(st.integers(min_value=1, max_value=256), st.integers(min_value=1, max_value=4))
+def test_dims_create_product_property(n, d):
+    dims = dims_create(n, d)
+    assert len(dims) == d
+    assert int(np.prod(dims)) == n
+    assert dims == sorted(dims, reverse=True)
+
+
+def test_dims_create_rejects_bad_args():
+    with pytest.raises(ValueError):
+        dims_create(0, 2)
+    with pytest.raises(ValueError):
+        dims_create(4, 0)
+
+
+# --------------------------------------------------------- pure geometry
+
+
+class FakeComm:
+    def __init__(self, rank, size):
+        self.rank = rank
+        self.size = size
+
+
+def test_rank_coord_roundtrip():
+    cart = CartComm(FakeComm(0, 12), [4, 3])
+    for r in range(12):
+        assert cart.cart_rank(cart.rank_to_coords(r)) == r
+
+
+def test_row_major_layout():
+    cart = CartComm(FakeComm(0, 6), [2, 3])
+    assert cart.rank_to_coords(0) == (0, 0)
+    assert cart.rank_to_coords(1) == (0, 1)
+    assert cart.rank_to_coords(3) == (1, 0)
+    assert cart.rank_to_coords(5) == (1, 2)
+
+
+def test_shift_interior_and_edges():
+    cart = CartComm(FakeComm(4, 9), [3, 3])  # centre of a 3x3
+    assert cart.coords == (1, 1)
+    src, dst = cart.cart_shift(0, 1)
+    assert (src, dst) == (1, 7)
+    corner = CartComm(FakeComm(0, 9), [3, 3])
+    src, dst = corner.cart_shift(0, 1)
+    assert src is None  # nothing above the top row
+    assert dst == 3
+
+
+def test_periodic_shift_wraps():
+    cart = CartComm(FakeComm(0, 4), [4], periods=[True])
+    src, dst = cart.cart_shift(0, 1)
+    assert (src, dst) == (3, 1)
+
+
+def test_grid_size_mismatch_rejected():
+    with pytest.raises(ValueError, match="needs"):
+        CartComm(FakeComm(0, 5), [2, 2])
+
+
+def test_nonperiodic_out_of_range_rank_rejected():
+    cart = CartComm(FakeComm(0, 4), [2, 2])
+    with pytest.raises(ValueError):
+        cart.cart_rank([2, 0])
+
+
+# ------------------------------------------------------------- end-to-end
+
+
+def test_ring_rotation_on_periodic_grid():
+    cl = SPCluster(4)
+
+    def program(comm, rank, size):
+        cart = CartComm(comm, [4], periods=[True])
+        mine = np.array([rank * 10], dtype=np.int64)
+        got = np.zeros(1, dtype=np.int64)
+        yield from cart.neighbour_sendrecv(0, 1, mine, got, tag=5)
+        return int(got[0])
+
+    res = cl.run(program)
+    # everyone receives from the left neighbour (rank-1 mod 4)
+    assert res.values == [30, 0, 10, 20]
+
+
+def test_2d_halo_exchange():
+    cl = SPCluster(4)
+
+    def program(comm, rank, size):
+        cart = CartComm(comm, [2, 2])
+        r, c = cart.coords
+        mine = np.array([rank], dtype=np.int64)
+        from_up = np.full(1, -1, dtype=np.int64)
+        yield from cart.neighbour_sendrecv(0, 1, mine, from_up, tag=7)
+        return int(from_up[0])
+
+    res = cl.run(program)
+    # rows: ranks 2,3 receive from 0,1; top row receives nothing (-1)
+    assert res.values == [-1, -1, 0, 1]
+
+
+def test_cart_sub_splits_rows():
+    cl = SPCluster(4)
+
+    def program(comm, rank, size):
+        cart = CartComm(comm, [2, 2])
+        row = yield from cart.sub([False, True])  # keep columns: row comms
+        out = np.zeros((row.size, 1), dtype=np.int64)
+        yield from row.comm.allgather(np.array([rank], dtype=np.int64), out)
+        return out.ravel().tolist()
+
+    res = cl.run(program)
+    assert res.values[0] == [0, 1]
+    assert res.values[1] == [0, 1]
+    assert res.values[2] == [2, 3]
+    assert res.values[3] == [2, 3]

@@ -1,0 +1,35 @@
+"""NAS problem classes: W verifies too, and scales over S."""
+
+import pytest
+
+from repro import SPCluster
+from repro.nas import KERNELS, run_kernel
+from repro.nas.common import KERNEL_CLASSES
+
+
+def test_every_kernel_has_both_classes():
+    for k in KERNELS:
+        assert set(KERNEL_CLASSES[k]) == {"S", "W"}
+
+
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+def test_class_w_verifies(kernel):
+    res = run_kernel(kernel, SPCluster(4), cls="W")
+    assert all(o.verified for o in res.values)
+
+
+def test_class_w_takes_longer_than_s():
+    for kernel in ("is", "lu"):
+        s = run_kernel(kernel, SPCluster(4), cls="S").elapsed_us
+        w = run_kernel(kernel, SPCluster(4), cls="W").elapsed_us
+        assert w > 1.3 * s, kernel
+
+
+def test_unknown_class_rejected():
+    with pytest.raises(KeyError, match="no class"):
+        run_kernel("ep", SPCluster(2), cls="Z")
+
+
+def test_overrides_beat_class_params():
+    res = run_kernel("cg", SPCluster(4), cls="S", iters=40)
+    assert all(o.verified for o in res.values)

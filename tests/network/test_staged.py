@@ -1,0 +1,204 @@
+"""The contention-aware butterfly fabric."""
+
+import numpy as np
+import pytest
+
+from repro import MachineParams, SPCluster
+from repro.machine import NodeStats
+from repro.network import Adapter
+from repro.network.staged import StagedFabric, butterfly_links
+from repro.sim import Environment
+
+
+# --------------------------------------------------------- routing math
+
+
+def test_butterfly_links_count_equals_stages():
+    assert len(butterfly_links(0, 3, 2)) == 2
+    assert len(butterfly_links(5, 2, 3)) == 3
+
+
+def test_butterfly_paths_unique_per_pair():
+    stages = 3  # 8 nodes
+    for src in range(8):
+        for dst in range(8):
+            path = butterfly_links(src, dst, stages)
+            assert len(set(path)) == stages
+
+
+def test_butterfly_converging_flows_share_final_link():
+    """All packets to one destination share the last-stage link."""
+    stages = 3
+    finals = {butterfly_links(s, 5, stages)[-1] for s in range(8)}
+    assert len(finals) == 1
+
+
+def test_butterfly_disjoint_permutation_paths():
+    """The identity permutation uses pairwise disjoint paths."""
+    stages = 3
+    used = set()
+    for node in range(8):
+        for link in butterfly_links(node, node, stages):
+            assert link not in used
+            used.add(link)
+
+
+# ------------------------------------------------------- fabric behaviour
+
+
+def build(n=4, **overrides):
+    env = Environment()
+    params = MachineParams(fabric_model="staged", **overrides)
+    fabric = StagedFabric(env, params, rng=np.random.default_rng(1))
+    stats = [NodeStats() for _ in range(n)]
+    adapters = [Adapter(env, params, fabric, i, stats[i]) for i in range(n)]
+    return env, params, fabric, adapters, stats
+
+
+def collect(env, adapter, out):
+    def proc():
+        while True:
+            pkt = adapter.poll()
+            if pkt is not None:
+                out.append((env.now, pkt))
+            else:
+                yield adapter.wait_rx()
+
+    env.process(proc())
+
+
+def test_single_packet_delivery_staged():
+    env, params, fabric, adapters, stats = build(route_jitter_us=0.0)
+    got = []
+    collect(env, adapters[1], got)
+
+    from repro.network.packet import Packet
+
+    def sender():
+        yield adapters[0].enqueue_send(
+            Packet(src=0, dst=1, header={"kind": "t"}, payload=b"hi", header_bytes=30)
+        )
+
+    env.process(sender())
+    env.run(until=1e5)
+    assert len(got) == 1
+    assert got[0][1].payload == b"hi"
+    assert fabric.delivered == 1
+    assert fabric.stages == 2  # 4 nodes
+
+
+def test_incast_contention_serialises_at_shared_link():
+    """Three senders to one receiver: the staged fabric queues them at
+    the converging links; the delay fabric would deliver in parallel."""
+    times = {}
+    for model in ("delay", "staged"):
+        cl = SPCluster(4, stack="lapi-enhanced",
+                       params=MachineParams(fabric_model=model, route_count=1,
+                                            route_jitter_us=0.0))
+
+        def program(comm, rank, size):
+            n = 16384
+            if rank == 0:
+                bufs = [np.zeros(n, dtype=np.uint8) for _ in range(3)]
+                reqs = []
+                for i in range(3):
+                    r = yield from comm.irecv(bufs[i], source=i + 1)
+                    reqs.append(r)
+                yield from comm.waitall(reqs)
+                return comm.env.now
+            yield from comm.send(np.zeros(16384, dtype=np.uint8), dest=0)
+            return None
+
+        times[model] = cl.run(program).values[0]
+    assert times["staged"] >= times["delay"] * 0.95
+    # contention was actually recorded
+    cl2 = SPCluster(4, params=MachineParams(fabric_model="staged", route_count=1,
+                                            route_jitter_us=0.0))
+
+    def program2(comm, rank, size):
+        if rank == 0:
+            bufs = [np.zeros(16384, dtype=np.uint8) for _ in range(3)]
+            reqs = []
+            for i in range(3):
+                r = yield from comm.irecv(bufs[i], source=i + 1)
+                reqs.append(r)
+            yield from comm.waitall(reqs)
+        else:
+            yield from comm.send(np.zeros(16384, dtype=np.uint8), dest=0)
+
+    cl2.run(program2)
+    assert cl2.fabric.contention_us > 0
+
+
+def test_parallel_planes_reduce_contention():
+    def contention(route_count):
+        cl = SPCluster(4, params=MachineParams(fabric_model="staged",
+                                               route_count=route_count,
+                                               route_jitter_us=0.0))
+
+        def program(comm, rank, size):
+            if rank == 0:
+                bufs = [np.zeros(32768, dtype=np.uint8) for _ in range(3)]
+                reqs = []
+                for i in range(3):
+                    r = yield from comm.irecv(bufs[i], source=i + 1)
+                    reqs.append(r)
+                yield from comm.waitall(reqs)
+            else:
+                yield from comm.send(np.zeros(32768, dtype=np.uint8), dest=0)
+
+        cl.run(program)
+        return cl.fabric.contention_us
+
+    assert contention(4) < contention(1)
+
+
+@pytest.mark.parametrize("stack", ["native", "lapi-enhanced"])
+def test_mpi_correct_on_staged_fabric(stack):
+    cl = SPCluster(4, stack=stack, params=MachineParams(fabric_model="staged"))
+    payload = np.random.default_rng(0).integers(0, 256, 10000, dtype=np.uint8)
+
+    def program(comm, rank, size):
+        out = np.zeros((size, 16), dtype=np.int64)
+        yield from comm.allgather(np.full(16, rank, dtype=np.int64), out)
+        if rank == 0:
+            yield from comm.send(payload, dest=3)
+            return None
+        if rank == 3:
+            buf = np.zeros(len(payload), dtype=np.uint8)
+            yield from comm.recv(buf, source=0)
+            return bool(np.array_equal(buf, payload))
+        return None
+
+    res = cl.run(program)
+    assert res.values[3] is True
+
+
+def test_nas_kernel_on_staged_fabric():
+    from repro.nas import run_kernel
+
+    cl = SPCluster(4, params=MachineParams(fabric_model="staged"))
+    result = run_kernel("ft", cl)
+    assert all(o.verified for o in result.values)
+
+
+def test_staged_loss_injection():
+    env, params, fabric, adapters, stats = build(packet_loss_rate=0.5)
+    from repro.network.packet import Packet
+
+    def sender():
+        for _ in range(100):
+            yield adapters[0].enqueue_send(
+                Packet(src=0, dst=1, header={"kind": "t"}, payload=b"x",
+                       header_bytes=30)
+            )
+
+    env.process(sender())
+    env.run(until=1e6)
+    assert fabric.dropped > 20
+    assert fabric.delivered + fabric.dropped == 100
+
+
+def test_bad_fabric_model_rejected():
+    with pytest.raises(ValueError, match="fabric_model"):
+        MachineParams(fabric_model="quantum").validate()

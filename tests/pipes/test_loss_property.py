@@ -1,0 +1,31 @@
+"""Property test: pipes deliver exactly the sent bytes under random
+loss rates, seeds and fragmentations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.pipes.test_endpoint import Rig, frame_bytes
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    loss=st.floats(min_value=0.0, max_value=0.3),
+    nbytes=st.integers(min_value=1, max_value=6000),
+    payload=st.sampled_from([128, 256, 1024]),
+)
+def test_stream_integrity_under_random_loss(seed, loss, nbytes, payload):
+    rig = Rig(packet_payload=payload, packet_loss_rate=loss, seed=seed)
+    rig.run_poller(0)
+    rig.run_poller(1)
+    data = np.random.default_rng(seed).integers(0, 256, nbytes,
+                                                dtype=np.uint8).tobytes()
+
+    def sender():
+        yield from rig.pipes[0].send_frame("user", 1, {"type": "e"}, data)
+
+    rig.env.process(sender())
+    rig.env.run(until=5e6)
+    assert frame_bytes(rig.delivered[1], nbytes) == data

@@ -1,0 +1,112 @@
+"""Determinism and stress properties of the event kernel."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import AllOf, AnyOf, Environment
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                          allow_nan=False), min_size=1, max_size=50),
+       st.integers(min_value=0, max_value=2**31))
+def test_same_schedule_same_trace(delays, seed):
+    """Two environments fed the same schedule produce identical traces,
+    including ties (FIFO by scheduling order)."""
+
+    def run_once():
+        env = Environment()
+        trace = []
+
+        def proc(i, d):
+            yield env.timeout(d)
+            trace.append((env.now, i))
+
+        for i, d in enumerate(delays):
+            env.process(proc(i, d))
+        env.run()
+        return trace
+
+    assert run_once() == run_once()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.floats(min_value=0.001, max_value=10.0,
+                          allow_nan=False), min_size=1, max_size=30))
+def test_clock_is_monotone(delays):
+    env = Environment()
+    stamps = []
+
+    def proc(d):
+        yield env.timeout(d)
+        stamps.append(env.now)
+        yield env.timeout(d)
+        stamps.append(env.now)
+
+    for d in delays:
+        env.process(proc(d))
+    env.run()
+    assert stamps == sorted(stamps)
+
+
+def test_ten_thousand_processes():
+    """Scalability smoke: the heap handles large event populations."""
+    env = Environment()
+    rng = np.random.default_rng(0)
+    delays = rng.uniform(0, 1000, 10_000)
+    counter = {"n": 0}
+
+    def proc(d):
+        yield env.timeout(d)
+        counter["n"] += 1
+
+    for d in delays:
+        env.process(proc(d))
+    env.run()
+    assert counter["n"] == 10_000
+    assert env.now == max(delays)
+
+
+def test_deep_process_chain():
+    env = Environment()
+
+    def chain(depth):
+        if depth == 0:
+            yield env.timeout(1.0)
+            return 0
+        v = yield env.process(chain(depth - 1))
+        return v + 1
+
+    p = env.process(chain(150))
+    assert env.run(until=p) == 150
+
+
+def test_condition_of_conditions():
+    env = Environment()
+
+    def proc():
+        pair1 = AllOf(env, [env.timeout(1.0), env.timeout(2.0)])
+        pair2 = AllOf(env, [env.timeout(5.0), env.timeout(6.0)])
+        yield AnyOf(env, [pair1, pair2])
+        return env.now
+
+    p = env.process(proc())
+    assert env.run(until=p) == 2.0
+
+
+def test_failed_event_inside_condition_propagates():
+    env = Environment()
+    bad = env.event()
+    caught = []
+
+    def proc():
+        try:
+            yield AllOf(env, [env.timeout(5.0), bad])
+        except RuntimeError as e:
+            caught.append(str(e))
+
+    env.process(proc())
+    bad.fail(RuntimeError("component failed"))
+    env.run()
+    assert caught == ["component failed"]

@@ -1,0 +1,196 @@
+"""Unit tests for Mutex / Store / Channel."""
+
+import pytest
+
+from repro.sim import Channel, Environment, Mutex, SimulationError, Store
+
+
+# ---------------------------------------------------------------- Mutex
+
+
+def test_mutex_exclusion_and_fifo_order():
+    env = Environment()
+    mx = Mutex(env)
+    log = []
+
+    def worker(tag, hold):
+        yield mx.acquire()
+        log.append(("in", tag, env.now))
+        yield env.timeout(hold)
+        log.append(("out", tag, env.now))
+        mx.release()
+
+    env.process(worker("a", 5.0))
+    env.process(worker("b", 3.0))
+    env.process(worker("c", 1.0))
+    env.run()
+    assert log == [
+        ("in", "a", 0.0),
+        ("out", "a", 5.0),
+        ("in", "b", 5.0),
+        ("out", "b", 8.0),
+        ("in", "c", 8.0),
+        ("out", "c", 9.0),
+    ]
+    assert not mx.locked
+    assert mx.acquisitions == 3
+
+
+def test_mutex_try_acquire():
+    env = Environment()
+    mx = Mutex(env)
+    assert mx.try_acquire()
+    assert not mx.try_acquire()
+    mx.release()
+    assert mx.try_acquire()
+
+
+def test_mutex_release_unlocked_raises():
+    env = Environment()
+    mx = Mutex(env)
+    with pytest.raises(SimulationError):
+        mx.release()
+
+
+# ---------------------------------------------------------------- Store
+
+
+def test_store_put_then_get():
+    env = Environment()
+    st = Store(env)
+    st.put("x")
+    got = []
+
+    def getter():
+        got.append((yield st.get()))
+
+    env.process(getter())
+    env.run()
+    assert got == ["x"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    st = Store(env)
+    got = []
+
+    def getter():
+        v = yield st.get()
+        got.append((env.now, v))
+
+    def putter():
+        yield env.timeout(4.0)
+        st.put("late")
+
+    env.process(getter())
+    env.process(putter())
+    env.run()
+    assert got == [(4.0, "late")]
+
+
+def test_store_fifo_order_items_and_getters():
+    env = Environment()
+    st = Store(env)
+    got = []
+
+    def getter(tag):
+        v = yield st.get()
+        got.append((tag, v))
+
+    env.process(getter("g1"))
+    env.process(getter("g2"))
+
+    def putter():
+        yield env.timeout(1.0)
+        st.put(1)
+        st.put(2)
+
+    env.process(putter())
+    env.run()
+    assert got == [("g1", 1), ("g2", 2)]
+
+
+def test_store_try_get():
+    env = Environment()
+    st = Store(env)
+    assert st.try_get() == (False, None)
+    st.put(7)
+    assert st.try_get() == (True, 7)
+    assert len(st) == 0
+
+
+# ---------------------------------------------------------------- Channel
+
+
+def test_channel_backpressure():
+    env = Environment()
+    ch = Channel(env, capacity=2)
+    log = []
+
+    def producer():
+        for i in range(4):
+            yield ch.put(i)
+            log.append(("put", i, env.now))
+
+    def consumer():
+        yield env.timeout(10.0)
+        while True:
+            v = yield ch.get()
+            log.append(("get", v, env.now))
+            if v == 3:
+                return
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    # puts 0 and 1 go immediately; 2 waits for the first get at t=10
+    assert ("put", 0, 0.0) in log
+    assert ("put", 1, 0.0) in log
+    put2 = [e for e in log if e[:2] == ("put", 2)][0]
+    assert put2[2] == 10.0
+    gets = [e[1] for e in log if e[0] == "get"]
+    assert gets == [0, 1, 2, 3]
+
+
+def test_channel_capacity_one_alternates():
+    env = Environment()
+    ch = Channel(env, capacity=1)
+    seen = []
+
+    def producer():
+        for i in range(3):
+            yield ch.put(i)
+
+    def consumer():
+        for _ in range(3):
+            v = yield ch.get()
+            seen.append(v)
+            yield env.timeout(1.0)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert seen == [0, 1, 2]
+
+
+def test_channel_try_put_and_try_get():
+    env = Environment()
+    ch = Channel(env, capacity=1)
+    assert ch.try_put("a")
+    assert not ch.try_put("b")
+    assert ch.try_get() == (True, "a")
+    assert ch.try_get() == (False, None)
+
+
+def test_channel_rejects_zero_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Channel(env, capacity=0)
+
+
+def test_channel_max_occupancy_statistic():
+    env = Environment()
+    ch = Channel(env, capacity=8)
+    for i in range(5):
+        assert ch.try_put(i)
+    assert ch.max_occupancy == 5

@@ -1,0 +1,32 @@
+"""The shipped examples must keep running (fast subset)."""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name):
+    sys.path.insert(0, str(EXAMPLES))
+    try:
+        mod = importlib.import_module(name)
+        importlib.reload(mod)  # fresh module state per test
+        mod.main()
+    finally:
+        sys.path.remove(str(EXAMPLES))
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "one_sided_lapi", "protocol_trace", "stencil_topology",
+     "mpl_legacy"],
+)
+def test_example_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+    assert "MISMATCH" not in out
+    assert "NO" not in out.split()

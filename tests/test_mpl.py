@@ -1,0 +1,153 @@
+"""MPL compatibility layer."""
+
+import numpy as np
+import pytest
+
+from repro import SPCluster
+from repro.mpl import ALLMSG, DONTCARE, MplError, MplTask
+
+
+def run(n, program, stack="lapi-enhanced"):
+    cl = SPCluster(n, stack=stack)
+
+    def wrapper(comm, rank, size):
+        task = MplTask(comm)
+        return (yield from program(task, rank, size))
+
+    return cl.run(wrapper)
+
+
+def test_environ():
+    def program(task, rank, size):
+        yield task.comm.env.timeout(0)
+        return task.mpc_environ()
+
+    res = run(3, program)
+    assert res.values == [(3, 0), (3, 1), (3, 2)]
+
+
+@pytest.mark.parametrize("stack", ["native", "lapi-enhanced"])
+def test_bsend_brecv(stack):
+    def program(task, rank, size):
+        if rank == 0:
+            yield from task.mpc_bsend(b"mpl lives", dest=1, type_=7)
+            return None
+        buf = bytearray(16)
+        n, src, typ = yield from task.mpc_brecv(buf, source=DONTCARE,
+                                                type_=DONTCARE)
+        return (bytes(buf[:n]), src, typ)
+
+    res = run(2, program, stack)
+    assert res.values[1] == (b"mpl lives", 0, 7)
+
+
+def test_nonblocking_send_recv_wait():
+    def program(task, rank, size):
+        if rank == 0:
+            mid = yield from task.mpc_send(b"async", dest=1, type_=3)
+            yield from task.mpc_wait(mid)
+            return None
+        buf = bytearray(5)
+        mid = yield from task.mpc_recv(buf, source=0, type_=3)
+        n = yield from task.mpc_wait(mid)
+        return (n, bytes(buf))
+
+    res = run(2, program)
+    assert res.values[1] == (5, b"async")
+
+
+def test_wait_allmsg():
+    def program(task, rank, size):
+        if rank == 0:
+            ids = []
+            for i in range(3):
+                mid = yield from task.mpc_send(bytes([i]) * 4, dest=1, type_=i)
+                ids.append(mid)
+            yield from task.mpc_wait(ALLMSG)
+            return None
+        bufs = [bytearray(4) for _ in range(3)]
+        for i in range(3):
+            yield from task.mpc_recv(bufs[i], source=0, type_=i)
+        total = yield from task.mpc_wait(ALLMSG)
+        return (total, [bytes(b) for b in bufs])
+
+    res = run(2, program)
+    total, bufs = res.values[1]
+    assert total == 12
+    assert bufs == [b"\x00" * 4, b"\x01" * 4, b"\x02" * 4]
+
+
+def test_status_polls_without_consuming():
+    def program(task, rank, size):
+        if rank == 0:
+            yield task.comm.env.timeout(2000.0)
+            yield from task.mpc_bsend(b"late", dest=1, type_=1)
+            return None
+        buf = bytearray(4)
+        mid = yield from task.mpc_recv(buf, source=0, type_=1)
+        polls = 0
+        while (yield from task.mpc_status(mid)) == -1:
+            polls += 1
+            yield task.comm.env.timeout(100.0)
+        # status doesn't consume: wait still works
+        n = yield from task.mpc_wait(mid)
+        return (polls, n)
+
+    res = run(2, program)
+    polls, n = res.values[1]
+    assert polls > 3
+    assert n == 4
+
+
+def test_wait_unknown_id_raises():
+    def program(task, rank, size):
+        yield task.comm.env.timeout(0)
+        try:
+            yield from task.mpc_wait(99)
+        except MplError:
+            return "caught"
+
+    assert run(1, program).values[0] == "caught"
+
+
+def test_send_with_dontcare_type_rejected():
+    def program(task, rank, size):
+        yield task.comm.env.timeout(0)
+        try:
+            yield from task.mpc_bsend(b"x", dest=0, type_=DONTCARE)
+        except MplError:
+            return "caught"
+
+    assert run(2, program).values[0] == "caught"
+
+
+def test_probe():
+    def program(task, rank, size):
+        if rank == 0:
+            yield from task.mpc_bsend(b"probe!", dest=1, type_=5)
+            return None
+        while True:
+            got = yield from task.mpc_probe(source=DONTCARE, type_=DONTCARE)
+            if got is not None:
+                break
+            yield task.comm.env.timeout(10.0)
+        n, src, typ = got
+        buf = bytearray(n)
+        yield from task.mpc_brecv(buf, source=src, type_=typ)
+        return bytes(buf)
+
+    assert run(2, program).values[1] == b"probe!"
+
+
+def test_sync_and_combine():
+    def program(task, rank, size):
+        yield from task.mpc_sync()
+        out = np.zeros(2)
+        yield from task.mpc_combine(np.array([rank, 1.0]), out, op="sum")
+        cat = np.zeros((size, 1), dtype=np.int64)
+        yield from task.mpc_concat(np.array([rank * 5], dtype=np.int64), cat)
+        return (out.tolist(), cat.ravel().tolist())
+
+    res = run(4, program)
+    for v in res.values:
+        assert v == ([6.0, 4.0], [0, 5, 10, 15])

@@ -1,0 +1,124 @@
+"""Trace subsystem: event emission, ordering, filtering."""
+
+import numpy as np
+import pytest
+
+from repro import SPCluster
+from repro.trace import Tracer
+
+
+class FakeClock:
+    now = 5.0
+
+
+def test_tracer_basics():
+    tr = Tracer(FakeClock())
+    tr.emit(0, "lapi", "amsend", tgt=1)
+    tr.emit(1, "lapi", "hdr_handler", hh="x")
+    assert len(tr.records) == 2
+    assert tr.records[0].time == 5.0
+    assert tr.filter(node=0)[0].event == "amsend"
+    assert tr.filter(layer="lapi", event="hdr_handler")[0].fields["hh"] == "x"
+    assert tr.filter(hh="x")[0].node == 1
+    assert tr.summary()[("lapi", "amsend")] == 1
+    assert "amsend" in tr.dump()
+    tr.clear()
+    assert not tr.records
+
+
+def test_tracer_capacity_bound():
+    tr = Tracer(FakeClock(), capacity=2)
+    for i in range(5):
+        tr.emit(0, "x", "e")
+    assert len(tr.records) == 2
+    assert tr.dropped == 3
+
+
+def test_trace_off_by_default_costs_nothing():
+    cl = SPCluster(2)
+    assert cl.tracer is None
+    assert cl.node_stats[0].tracer is None
+
+
+def test_eager_message_timeline():
+    cl = SPCluster(2, stack="lapi-enhanced", trace=True)
+
+    def program(comm, rank, size):
+        if rank == 0:
+            yield from comm.send(b"traced!", dest=1, tag=3)
+            return None
+        buf = bytearray(7)
+        yield from comm.recv(buf, source=0, tag=3)
+        return None
+
+    cl.run(program)
+    tr = cl.tracer
+    # sender side: amsend then packet out
+    ev0 = tr.events(node=0, layer="lapi")
+    assert "amsend" in ev0
+    # receiver side: the milestone order of Fig 3
+    rx = [r for r in tr.filter(node=1)
+          if r.event in ("pkt_rx", "hdr_handler", "matched_posted",
+                         "msg_complete", "cmpl_inline")]
+    names = [r.event for r in rx]
+    assert names.index("pkt_rx") < names.index("hdr_handler")
+    assert names.index("hdr_handler") < names.index("msg_complete")
+    assert "matched_posted" in names
+    times = [r.time for r in rx]
+    assert times == sorted(times)
+
+
+def test_rendezvous_timeline_shows_control_steps():
+    cl = SPCluster(2, stack="lapi-enhanced", trace=True)
+
+    def program(comm, rank, size):
+        if rank == 0:
+            yield from comm.send(bytes(20000), dest=1)
+            return None
+        buf = bytearray(20000)
+        yield from comm.recv(buf, source=0)
+        return None
+
+    cl.run(program)
+    tr = cl.tracer
+    hh_names = [r.fields["hh"] for r in tr.filter(layer="lapi", event="hdr_handler")]
+    assert "mpi_rts" in hh_names
+    assert "mpi_rts_ack" in hh_names
+    assert "mpi_rdata" in hh_names
+    # rts handled before its ack, ack before the data
+    def first(hh):
+        return next(r.time for r in tr.filter(layer="lapi", event="hdr_handler")
+                    if r.fields["hh"] == hh)
+    assert first("mpi_rts") < first("mpi_rts_ack") < first("mpi_rdata")
+
+
+def test_base_variant_traces_thread_handoff():
+    cl = SPCluster(2, stack="lapi-base", trace=True)
+
+    def program(comm, rank, size):
+        if rank == 0:
+            yield from comm.send(b"x" * 50, dest=1)
+            return None
+        buf = bytearray(50)
+        yield from comm.recv(buf, source=0)
+        return None
+
+    cl.run(program)
+    assert cl.tracer.filter(event="cmpl_queued_to_thread")
+    assert cl.tracer.filter(event="cmpl_thread_run")
+
+
+def test_early_arrival_traced():
+    cl = SPCluster(2, stack="lapi-enhanced", trace=True)
+
+    def program(comm, rank, size):
+        if rank == 0:
+            yield from comm.send(b"early", dest=1)
+            return None
+        yield from comm.probe(source=0)
+        buf = bytearray(5)
+        yield from comm.recv(buf, source=0)
+        return None
+
+    cl.run(program)
+    assert cl.tracer.filter(layer="mpci", event="early_arrival")
