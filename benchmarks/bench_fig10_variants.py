@@ -43,3 +43,36 @@ def test_fig10_shape(benchmark, shape_report):
     # sizes is dominated by the completion-handler thread switches
     small = data[0]
     assert small["lapi-base"] - small["lapi-enhanced"] > 20.0
+
+
+def main(argv=None) -> int:
+    """Write BENCH_fig10_variants.json: the variant sweep plus the
+    per-phase breakdown behind the Base/Enhanced gap."""
+    import argparse
+
+    from repro.bench.artifact import make_artifact, write_artifact
+    from repro.bench.harness import pingpong_breakdown
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--out", default=".", help="output directory")
+    args = parser.parse_args(argv)
+
+    sizes = [4, 256, 1024, 16384, 65536]
+    data = fig10.rows(sizes=sizes)
+    breakdown = {}
+    for variant in ("lapi-base", "lapi-counters", "lapi-enhanced"):
+        summary, _ = pingpong_breakdown(variant, 256, reps=4)
+        breakdown[variant] = summary
+    doc = make_artifact(
+        "fig10_variants",
+        params={"sizes": sizes, "breakdown_bytes": 256},
+        results=data,
+        breakdown=breakdown,
+    )
+    path = write_artifact(doc, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,3 +29,25 @@ def test_fig12_shape(benchmark, shape_report):
     problems = fig12.check_shape(data)
     shape_report["fig12"] = problems
     assert not problems, problems
+
+
+def main(argv=None) -> int:
+    """Write BENCH_fig12_bandwidth.json."""
+    import argparse
+
+    from repro.bench.artifact import make_artifact, write_artifact
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--out", default=".", help="output directory")
+    args = parser.parse_args(argv)
+
+    sizes = [1024, 4096, 16384, 65536, 1048576]
+    data = fig12.rows(sizes=sizes)
+    doc = make_artifact("fig12_bandwidth", params={"sizes": sizes}, results=data)
+    path = write_artifact(doc, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

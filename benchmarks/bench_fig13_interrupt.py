@@ -48,3 +48,25 @@ def test_hysteresis_dwells_are_the_cause(benchmark):
     normal, no_dwell, lapi = benchmark.pedantic(measure, rounds=1, iterations=1)
     assert normal > no_dwell * 1.5
     assert no_dwell < lapi * 1.8
+
+
+def main(argv=None) -> int:
+    """Write BENCH_fig13_interrupt.json."""
+    import argparse
+
+    from repro.bench.artifact import make_artifact, write_artifact
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--out", default=".", help="output directory")
+    args = parser.parse_args(argv)
+
+    sizes = [1, 64, 1024, 8192]
+    data = fig13.rows(sizes=sizes)
+    doc = make_artifact("fig13_interrupt", params={"sizes": sizes}, results=data)
+    path = write_artifact(doc, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,8 @@ from repro.machine import MachineParams
 __all__ = [
     "bandwidth_mbps",
     "interrupt_pingpong_us",
+    "pingpong_breakdown",
+    "pingpong_result",
     "pingpong_us",
     "raw_lapi_pingpong_us",
 ]
@@ -33,15 +35,19 @@ def _params(params: Optional[MachineParams]) -> MachineParams:
     return params if params is not None else MachineParams()
 
 
-def pingpong_us(
+def pingpong_result(
     stack: str,
     msg_size: int,
     reps: int = 12,
     warmup: int = 2,
     params: Optional[MachineParams] = None,
     seed: int = 0,
-) -> float:
-    """One-way latency (us) via a blocking-send/recv ping-pong."""
+):
+    """Full :class:`~repro.cluster.RunResult` of the latency ping-pong.
+
+    Rank 0's value is the one-way latency in us; ``result.metrics``
+    carries the cluster's full metrics snapshot.
+    """
     cluster = SPCluster(2, stack=stack, params=_params(params), seed=seed)
     payload = bytes(msg_size)
 
@@ -60,7 +66,68 @@ def pingpong_us(
                 yield from comm.send(payload, dest=0)
         return (comm.env.now - t0) / reps / 2.0 if rank == 0 else None
 
-    return cluster.run(program).values[0]
+    return cluster.run(program)
+
+
+def pingpong_us(
+    stack: str,
+    msg_size: int,
+    reps: int = 12,
+    warmup: int = 2,
+    params: Optional[MachineParams] = None,
+    seed: int = 0,
+) -> float:
+    """One-way latency (us) via a blocking-send/recv ping-pong."""
+    return pingpong_result(stack, msg_size, reps=reps, warmup=warmup,
+                           params=params, seed=seed).values[0]
+
+
+def pingpong_breakdown(
+    stack: str,
+    msg_size: int,
+    reps: int = 4,
+    params: Optional[MachineParams] = None,
+    seed: int = 0,
+    allow_truncated: bool = False,
+):
+    """Per-phase latency decomposition of a ping-pong (paper Fig 10).
+
+    Runs a traced ping-pong and attributes each data message's
+    end-to-end time to the six :data:`repro.obs.PHASES`.  Returns
+    ``(summary, breakdowns)`` where ``summary`` is the JSON-able output
+    of :func:`repro.obs.summarize` over the data messages only (control
+    traffic — barrier, rendezvous handshake — is excluded by size).
+    Most meaningful at eager sizes, where one message is one frame.
+    """
+    from repro.obs import lapi_breakdowns, pipes_breakdowns, summarize
+
+    if msg_size < 1:
+        raise ValueError("breakdown needs a positive message size")
+    if stack == "raw-lapi":
+        raise ValueError("pingpong_breakdown drives the MPI stacks")
+    cluster = SPCluster(2, stack=stack, params=_params(params), seed=seed,
+                        trace=True)
+    payload = bytes(msg_size)
+
+    def program(comm, rank, size):
+        buf = bytearray(msg_size)
+        yield from comm.barrier()
+        for _ in range(reps):
+            if rank == 0:
+                yield from comm.send(payload, dest=1)
+                yield from comm.recv(buf, source=1)
+            else:
+                yield from comm.recv(buf, source=0)
+                yield from comm.send(payload, dest=0)
+        return None
+
+    cluster.run(program)
+    if stack == "native":
+        downs = pipes_breakdowns(cluster.tracer, allow_truncated=allow_truncated)
+    else:
+        downs = lapi_breakdowns(cluster.tracer, allow_truncated=allow_truncated)
+    data = [b for b in downs if b.bytes == msg_size]
+    return summarize(data), data
 
 
 def interrupt_pingpong_us(

@@ -30,6 +30,9 @@ def main(argv=None) -> int:
                         help="reduced size sweeps (~4x faster)")
     parser.add_argument("--skip-nas", action="store_true",
                         help="omit the NAS section")
+    parser.add_argument("--json-dir", default=None, metavar="DIR",
+                        help="also write a BENCH_<figure>.json artifact per "
+                             "figure under DIR")
     args = parser.parse_args(argv)
 
     verdicts: dict[str, list[str]] = {}
@@ -50,6 +53,13 @@ def main(argv=None) -> int:
         print_table(title, columns, data)
         verdicts[name] = module.check_shape(data)
         print("shape check:", "OK" if not verdicts[name] else verdicts[name])
+        if args.json_dir is not None:
+            from repro.bench.artifact import make_artifact, write_artifact
+
+            doc = make_artifact(
+                name, params={"sizes": [r["size"] for r in data]}, results=data
+            )
+            print("artifact:", write_artifact(doc, args.json_dir))
 
     if not args.skip_nas:
         data = nas.rows()

@@ -35,6 +35,7 @@ from repro.machine.stats import aggregate
 from repro.mpi.api import Communicator
 from repro.mpi.backends import LapiBackend, NativeBackend
 from repro.network import Adapter, SwitchFabric
+from repro.obs import MetricsRegistry
 from repro.pipes import PipeEndpoint
 from repro.sim import Environment, SimulationError
 
@@ -62,6 +63,8 @@ class RunResult:
     ranks: list[RankResult]
     elapsed_us: float
     stats: NodeStats  # aggregated over nodes
+    #: full metrics snapshot (cluster + aggregate + per-node), JSON-able
+    metrics: Optional[dict] = None
 
     @property
     def values(self) -> list[Any]:
@@ -90,16 +93,21 @@ class SPCluster:
         self.params.validate()
         self.interrupt_mode = interrupt_mode
 
-        self.env = Environment()
+        #: cluster-wide registry (sim kernel + fabric); per-node metrics
+        #: live in each node's ``NodeStats.registry``
+        self.metrics = MetricsRegistry()
+        self.env = Environment(metrics=self.metrics)
         if self.params.fabric_model == "staged":
             from repro.network.staged import StagedFabric
 
             self.fabric = StagedFabric(
-                self.env, self.params, rng=np.random.default_rng(seed)
+                self.env, self.params, rng=np.random.default_rng(seed),
+                metrics=self.metrics,
             )
         else:
             self.fabric = SwitchFabric(
-                self.env, self.params, rng=np.random.default_rng(seed)
+                self.env, self.params, rng=np.random.default_rng(seed),
+                metrics=self.metrics,
             )
         self.node_stats = [NodeStats() for _ in range(num_nodes)]
         self.tracer = None
@@ -185,6 +193,19 @@ class SPCluster:
             ]
 
     # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """Deterministic, JSON-able view of every registry in the cluster.
+
+        ``cluster`` holds sim-kernel and fabric metrics, ``nodes`` the
+        per-node registries in rank order, ``aggregate`` their merge.
+        """
+        node_regs = [s.registry for s in self.node_stats]
+        return {
+            "cluster": self.metrics.snapshot(),
+            "aggregate": MetricsRegistry.merged(node_regs).snapshot(),
+            "nodes": [r.snapshot() for r in node_regs],
+        }
+
     def run(self, program: Callable, *args, **kwargs) -> RunResult:
         """Run ``program(comm, rank, size, *args, **kwargs)`` on all ranks.
 
@@ -219,6 +240,7 @@ class SPCluster:
             ranks=[r for r in results],
             elapsed_us=self.env.now - start,
             stats=aggregate(self.node_stats),
+            metrics=self.metrics_snapshot(),
         )
 
     def _wrap(self, program, handle, rank, results, args, kwargs):

@@ -181,6 +181,16 @@ class Lapi:
         self._gfence_seen: dict[int, set[int]] = {}
         self._gfence_epoch = 0
 
+        # observability: per-op counters and the in-flight-packet gauge
+        # live in the node's metrics registry (shared via NodeStats)
+        self.metrics = stats.registry
+        self._m_amsend = self.metrics.counter("lapi.amsend")
+        self._m_put = self.metrics.counter("lapi.put")
+        self._m_get = self.metrics.counter("lapi.get")
+        self._m_rmw = self.metrics.counter("lapi.rmw")
+        self._m_dispatch = self.metrics.counter("lapi.dispatch_pkts")
+        self._g_inflight = self.metrics.gauge("lapi.pkts_in_flight")
+
         self._register_internal_handlers()
         env.process(self._tx_engine(), name=f"lapi{task_id}.tx")
         env.process(self._cmpl_thread(), name=f"lapi{task_id}.cmpl")
@@ -272,6 +282,7 @@ class Lapi:
             raise LapiError("LAPI does not loop back to self")
         yield from self.cpu.execute(thread, self.params.lapi_call_us)
         msg_no = next(self._msg_nos)
+        self._m_amsend.incr()
         self.stats.trace("lapi", "amsend", tgt=tgt, hh=hdr_hdl, msg=msg_no,
                          bytes=len(udata))
         want_cmpl = cmpl_cntr is not None
@@ -295,6 +306,7 @@ class Lapi:
         cmpl_cntr: Optional[Counter] = None,
     ) -> Generator:
         """LAPI_Put: one-sided write into a published remote buffer."""
+        self._m_put.incr()
         yield from self.amsend(
             thread,
             tgt,
@@ -317,6 +329,7 @@ class Lapi:
         org_cntr: Optional[Counter] = None,
     ) -> Generator:
         """LAPI_Get: one-sided read; ``org_cntr`` fires when data lands."""
+        self._m_get.incr()
         gid = next(self._get_ids)
         self._pending_get[gid] = (memoryview(local_buf), org_cntr)
         yield from self.amsend(
@@ -343,6 +356,7 @@ class Lapi:
         """
         if op not in RMW_OPS:
             raise LapiError(f"unknown Rmw op {op!r}")
+        self._m_rmw.incr()
         rid = next(self._rmw_ids)
         self._pending_rmw[rid] = {"done": False, "prev": None, "cntr": prev_cntr}
         yield from self.amsend(
@@ -476,6 +490,7 @@ class Lapi:
                     header["want_cmpl"] = desc.want_cmpl
                 payload = desc.udata[off : off + ln]
                 seq = flow.window.send((header, payload))
+                self._g_inflight.add(1)
                 header["seq"] = seq
                 yield from self.cpu.execute("user", p.lapi_tx_pkt_us)
                 dma_ev = None
@@ -534,6 +549,7 @@ class Lapi:
             if pkt is None:
                 return processed
             processed += 1
+            self._m_dispatch.incr()
             yield from self.hal.charge_recv(thread)
             kind = pkt.header.get("kind")
             if kind == _ACK:
@@ -552,6 +568,7 @@ class Lapi:
         flow = self._flow_for_tx(src)
         freed = flow.window.on_ack(cum)
         if freed:
+            self._g_inflight.add(-freed)
             flow.last_progress = self.env.now
             waiters, flow.waiters = flow.waiters, []
             for ev in waiters:
@@ -592,6 +609,7 @@ class Lapi:
                     f"handler {header['hh']!r}"
                 ) from None
             self.stats.hdr_handlers_run += 1
+            self.metrics.counter("lapi.hdr." + header["hh"]).incr()
             yield from self.cpu.execute(thread, p.lapi_hdr_hdl_us)
             self._in_hdr_handler = True
             try:
@@ -668,6 +686,7 @@ class Lapi:
 
     def _post_complete(self, thread: str, asm: _Assembly) -> Generator:
         """Counter updates after handler execution (paper §3 ordering)."""
+        self.stats.trace("lapi", "cmpl_done", src=asm.src, msg=asm.msg_no)
         if asm.tgt_cntr_id is not None:
             cntr = self._counters.get(asm.tgt_cntr_id)
             if cntr is None:

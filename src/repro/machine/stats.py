@@ -1,58 +1,84 @@
-"""Per-node statistics counters.
+"""Per-node statistics counters, backed by the metrics registry.
 
 Every layer increments these as it works; tests and EXPERIMENTS.md use
 them to verify *structural* claims (e.g. MPI-LAPI performs strictly
 fewer buffer copies per byte than the native stack, native MPI takes
 hysteresis dwells in interrupt mode, etc.).
+
+Since the observability PR, :class:`NodeStats` is a compatibility facade
+over a per-node :class:`repro.obs.MetricsRegistry`: the historical
+attribute counters (``stats.copies += 1`` and friends) are properties
+that read/write registry counters, so the same numbers appear in
+metrics snapshots, ``BENCH_*.json`` artifacts, and ``as_dict()``.
+Layers that need richer metrics (gauges, histograms, namespaced
+counters) reach the registry directly via ``stats.registry``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import field  # re-exported for backwards compatibility
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["COUNTER_FIELDS", "NodeStats", "aggregate", "field"]
+
+#: the legacy per-node counters, in their historical (declaration) order
+COUNTER_FIELDS = (
+    # memory traffic
+    "copies",
+    "bytes_copied",
+    # adapter traffic
+    "packets_sent",
+    "packets_received",
+    "bytes_on_wire",
+    "packets_dropped",
+    "retransmissions",
+    "acks_sent",
+    # CPU events
+    "ctx_switches",
+    "interrupts",
+    "hysteresis_dwells",
+    "polls",
+    # LAPI activity
+    "hdr_handlers_run",
+    "cmpl_handlers_threaded",
+    "cmpl_handlers_inline",
+    # MPI activity
+    "msgs_sent",
+    "msgs_received",
+    "early_arrivals",
+    "matches_posted",
+    "rendezvous_started",
+    "eager_sends",
+    # first packets whose matching was deferred to preserve MPI's
+    # non-overtaking rule after overtaking in the fabric
+    "deferred_announcements",
+)
 
 
-@dataclass
 class NodeStats:
     """Counters for one simulated node.
 
-    A :class:`repro.trace.Tracer` may be attached as the (non-dataclass)
-    ``tracer`` attribute; layers emit structured events through
-    :meth:`trace`, which is a no-op when tracing is off.
+    A :class:`repro.trace.Tracer` may be attached as the ``tracer``
+    attribute; layers emit structured events through :meth:`trace`,
+    which is a no-op when tracing is off.
+
+    Constructing with keyword arguments (``NodeStats(copies=3)``) seeds
+    the named counters, mirroring the old dataclass behaviour.
     """
 
     #: class-level defaults; SPCluster sets instance attributes
     tracer = None
     node_id = -1
 
-    # memory traffic
-    copies: int = 0
-    bytes_copied: int = 0
-    # adapter traffic
-    packets_sent: int = 0
-    packets_received: int = 0
-    bytes_on_wire: int = 0
-    packets_dropped: int = 0
-    retransmissions: int = 0
-    acks_sent: int = 0
-    # CPU events
-    ctx_switches: int = 0
-    interrupts: int = 0
-    hysteresis_dwells: int = 0
-    polls: int = 0
-    # LAPI activity
-    hdr_handlers_run: int = 0
-    cmpl_handlers_threaded: int = 0
-    cmpl_handlers_inline: int = 0
-    # MPI activity
-    msgs_sent: int = 0
-    msgs_received: int = 0
-    early_arrivals: int = 0
-    matches_posted: int = 0
-    rendezvous_started: int = 0
-    eager_sends: int = 0
-    #: first packets whose matching was deferred to preserve MPI's
-    #: non-overtaking rule after overtaking in the fabric
-    deferred_announcements: int = 0
+    def __init__(self, registry: Optional[MetricsRegistry] = None, **values: int):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {name: self.registry.counter(name) for name in COUNTER_FIELDS}
+        for name, value in values.items():
+            if name not in self._counters:
+                raise TypeError(f"NodeStats has no counter {name!r}")
+            self._counters[name].set(value)
 
     def record_copy(self, nbytes: int) -> None:
         self.copies += 1
@@ -66,12 +92,31 @@ class NodeStats:
     def merged_with(self, other: "NodeStats") -> "NodeStats":
         """Element-wise sum (for cluster-level aggregation)."""
         out = NodeStats()
-        for f in fields(self):
-            setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
+        for name in COUNTER_FIELDS:
+            out._counters[name].set(getattr(self, name) + getattr(other, name))
         return out
 
     def as_dict(self) -> dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        return {name: getattr(self, name) for name in COUNTER_FIELDS}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        nonzero = {k: v for k, v in self.as_dict().items() if v}
+        return f"<NodeStats node={self.node_id} {nonzero}>"
+
+
+def _counter_property(name: str) -> property:
+    def fget(self: NodeStats) -> int:
+        return self._counters[name].value
+
+    def fset(self: NodeStats, value: int) -> None:
+        self._counters[name].set(value)
+
+    return property(fget, fset)
+
+
+for _name in COUNTER_FIELDS:
+    setattr(NodeStats, _name, _counter_property(_name))
+del _name
 
 
 def aggregate(stats: list[NodeStats]) -> NodeStats:
@@ -80,7 +125,3 @@ def aggregate(stats: list[NodeStats]) -> NodeStats:
     for s in stats:
         total = total.merged_with(s)
     return total
-
-
-# re-export field for dataclass introspection users
-__all__ = ["NodeStats", "aggregate", "field"]

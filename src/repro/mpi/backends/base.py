@@ -118,6 +118,12 @@ class Backend:
         # early-arrival buffer accounting
         self._ea_used = 0
 
+        # observability: protocol-selection counters per Table-2 mode,
+        # early-arrival occupancy high water, unexpected-queue depth
+        self.metrics = stats.registry
+        self._g_ea = self.metrics.gauge("mpi.ea_bytes")
+        self._g_unexpected = self.metrics.gauge("mpi.unexpected_depth")
+
     # ------------------------------------------------------ buffered mode
     def attach_buffer(self, nbytes: int) -> None:
         """MPI_Buffer_attach."""
@@ -161,11 +167,17 @@ class Backend:
                 "discipline or early_arrival_bytes"
             )
         self._ea_used += size
+        self._g_ea.set(self._ea_used)
         self.stats.early_arrivals += 1
         return bytearray(size)
 
     def _free_ea(self, size: int) -> None:
         self._ea_used -= size
+        self._g_ea.set(self._ea_used)
+
+    def _track_unexpected(self) -> None:
+        """Refresh the unexpected-queue depth gauge after a mutation."""
+        self._g_unexpected.set(len(self.early))
 
     # ---------------------------------------------------------- helpers
     def next_mseq(self, dst_task: int) -> int:
@@ -181,7 +193,9 @@ class Backend:
         return p.match_base_us + inspected * p.match_per_entry_us
 
     def select_protocol(self, mode: str, size: int) -> str:
-        return select_protocol(mode, size, self.params.eager_limit)
+        proto = select_protocol(mode, size, self.params.eager_limit)
+        self.metrics.counter(f"mpi.proto.{proto}.{mode}").incr()
+        return proto
 
     # ------------------------------------------------- abstract surface
     def isend(self, thread, data, dst_task, src_rank, tag, context, mode,

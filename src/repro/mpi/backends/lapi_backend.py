@@ -256,6 +256,7 @@ class LapiBackend(Backend):
         req = Request(self.env, "recv")
         req.ctx = view
         entry, inspected = self.early.match(context, src_pattern, tag_pattern)
+        self._track_unexpected()
         yield from self.cpu.execute(thread, self.match_cost(inspected))
         if entry is None:
             self.posted.post(context, src_pattern, tag_pattern, req)
@@ -366,6 +367,7 @@ class LapiBackend(Backend):
             self.stats.trace("mpci", "early_arrival", proto=msg.proto,
                              tag=msg.envelope.tag, mseq=msg.mseq)
             self.early.add(msg.envelope, msg)
+            self._track_unexpected()
 
     # ------------------------------------------------------ completion
     def _on_data_complete(self, msg: InMsg) -> None:

@@ -207,6 +207,7 @@ class NativeBackend(Backend):
         req = Request(self.env, "recv")
         req.ctx = view
         entry, inspected = self.early.match(context, src_pattern, tag_pattern)
+        self._track_unexpected()
         yield from self.cpu.execute(thread, self.match_cost(inspected))
         if entry is None:
             self.posted.post(context, src_pattern, tag_pattern, req)
@@ -322,6 +323,7 @@ class NativeBackend(Backend):
             self.stats.trace("mpci", "early_arrival", proto=msg.proto,
                              tag=msg.envelope.tag, mseq=msg.mseq)
             self.early.add(msg.envelope, msg)
+            self._track_unexpected()
 
     def _frame_data(self, thread: str, frame: _Frame, header: dict[str, Any],
                     payload: bytes) -> Generator:
@@ -347,6 +349,7 @@ class NativeBackend(Backend):
         """Native completion happens right in the dispatcher — the native
         stack has no separate completion thread (its Fig 13 problem is
         hysteresis, not context switches)."""
+        self.stats.trace("mpci", "msg_complete", sid=msg.sid, bytes=msg.size)
         msg.assembled = True
         req = msg.req
         if req is not None:

@@ -64,6 +64,10 @@ class Adapter:
         self.node_id = node_id
         self.stats = stats
 
+        # receive-FIFO occupancy high water: how close the node came to
+        # the overflow drops the reliability layers must then repair
+        self._g_rx_depth = stats.registry.gauge("adapter.rx_fifo_depth")
+
         self._send_fifo = Channel(env, params.adapter_send_fifo, name=f"a{node_id}.tx")
         self._link_q = Channel(env, 2, name=f"a{node_id}.link")
         self._sram_rx = Store(env, name=f"a{node_id}.sram")
@@ -112,7 +116,8 @@ class Adapter:
             self.stats.trace(
                 "adapter", "pkt_tx", dst=packet.dst, route=packet.route,
                 kind=packet.header.get("kind"), seq=packet.header.get("seq"),
-                bytes=packet.wire_bytes,
+                bytes=packet.wire_bytes, msg=packet.header.get("msg"),
+                fid=packet.header.get("fid"),
             )
             self.fabric.transmit(packet)
 
@@ -134,10 +139,12 @@ class Adapter:
                                  seq=packet.header.get("seq"))
                 continue
             self._host_rx.append(packet)
+            self._g_rx_depth.set(len(self._host_rx))
             self.stats.packets_received += 1
             self.stats.trace(
                 "adapter", "pkt_rx", src=packet.src,
                 kind=packet.header.get("kind"), seq=packet.header.get("seq"),
+                msg=packet.header.get("msg"), fid=packet.header.get("fid"),
             )
             self._notify_rx()
 

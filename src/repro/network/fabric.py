@@ -35,6 +35,7 @@ class SwitchFabric:
         env: Environment,
         params: MachineParams,
         rng: Optional[np.random.Generator] = None,
+        metrics=None,
     ):
         params.validate()
         self.env = env
@@ -46,6 +47,10 @@ class SwitchFabric:
         self.dropped = 0
         #: total packets delivered
         self.delivered = 0
+        #: optional MetricsRegistry for per-packet traversal-delay stats
+        self.metrics = metrics
+        self._h_delay = None if metrics is None else metrics.histogram("net.route_delay_us")
+        self._m_dropped = None if metrics is None else metrics.counter("net.dropped")
 
     # ------------------------------------------------------------------
     def attach(self, adapter: "Adapter") -> None:
@@ -77,12 +82,16 @@ class SwitchFabric:
         p = self.params
         if p.packet_loss_rate > 0.0 and self.rng.random() < p.packet_loss_rate:
             self.dropped += 1
+            if self._m_dropped is not None:
+                self._m_dropped.incr()
             return
         delay = (
             p.route_base_us
             + packet.route * p.route_skew_us
             + (self.rng.random() * p.route_jitter_us if p.route_jitter_us > 0 else 0.0)
         )
+        if self._h_delay is not None:
+            self._h_delay.observe(delay)
         dst = self._adapters[packet.dst]
 
         def arrive(_ev) -> None:

@@ -66,6 +66,7 @@ class StagedFabric:
         env: Environment,
         params: MachineParams,
         rng: Optional[np.random.Generator] = None,
+        metrics=None,
     ):
         params.validate()
         self.env = env
@@ -80,6 +81,11 @@ class StagedFabric:
         #: cumulative time packets spent queued at contended links
         self.contention_us = 0.0
         self._stages = 1  # grows as adapters attach
+        #: optional MetricsRegistry for per-hop queueing-delay stats
+        self.metrics = metrics
+        self._h_queue = None if metrics is None else metrics.histogram("net.hop_queue_us")
+        self._h_delay = None if metrics is None else metrics.histogram("net.route_delay_us")
+        self._m_dropped = None if metrics is None else metrics.counter("net.dropped")
 
     # ------------------------------------------------------------------
     def attach(self, adapter: "Adapter") -> None:
@@ -112,6 +118,8 @@ class StagedFabric:
         p = self.params
         if p.packet_loss_rate > 0.0 and self.rng.random() < p.packet_loss_rate:
             self.dropped += 1
+            if self._m_dropped is not None:
+                self._m_dropped.incr()
             return
         occupancy = packet.wire_bytes * p.wire_us_per_byte
         t = self.env.now
@@ -120,11 +128,15 @@ class StagedFabric:
             free_at = self._busy_until.get(key, t)
             queued = max(0.0, free_at - t)
             self.contention_us += queued
+            if self._h_queue is not None:
+                self._h_queue.observe(queued)
             t = max(t, free_at) + p.switch_hop_us
             # cut-through: the link is held for the full wire time
             self._busy_until[key] = max(t, free_at) + occupancy
         if p.route_jitter_us > 0.0:
             t += self.rng.random() * p.route_jitter_us
+        if self._h_delay is not None:
+            self._h_delay.observe(t - self.env.now)
         dst = self._adapters[packet.dst]
 
         def arrive(_ev) -> None:

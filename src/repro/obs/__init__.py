@@ -1,0 +1,24 @@
+"""Observability: unified metrics registry and latency breakdowns."""
+
+from repro.obs.breakdown import (
+    PHASES,
+    Breakdown,
+    TruncatedTraceError,
+    lapi_breakdowns,
+    pipes_breakdowns,
+    summarize,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "Breakdown",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PHASES",
+    "TruncatedTraceError",
+    "lapi_breakdowns",
+    "pipes_breakdowns",
+    "summarize",
+]

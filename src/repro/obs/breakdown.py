@@ -1,0 +1,244 @@
+"""Latency breakdowns from trace records (the paper's Fig 10 as data).
+
+Section 6.2 of the paper decomposes ping-pong latency into where the
+time goes: sender-side overhead, wire/switch time, header-handler
+dispatch, data copies, and — for the base LAPI variant — the thread
+context switch that runs the completion handler.  This module rebuilds
+that decomposition from a :class:`~repro.trace.Tracer` capture, one
+:class:`Breakdown` per delivered message.
+
+The six phases partition the end-to-end interval exactly (telescoping
+timestamps), so ``sum(b.phases.values()) == b.end_to_end`` up to float
+rounding:
+
+===============  ====================================================
+``send_overhead``  send call until the first packet leaves the wire
+``wire``           first packet's link + fabric traversal
+``hdr_handler``    arrival in the host FIFO until the header handler
+``copy``           header handler until the message is assembled
+``thread_switch``  hand-off to the completion-handler thread (base
+                   variant only; identically zero when handlers run
+                   in the dispatcher's context)
+``completion``     completion-handler body until the done mark
+===============  ====================================================
+
+Pipes/native messages use the same phase names; their per-packet
+processing and reordering copies all land in ``copy`` and the last two
+phases are zero (native completion is inline in the dispatcher).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Breakdown",
+    "PHASES",
+    "TruncatedTraceError",
+    "lapi_breakdowns",
+    "pipes_breakdowns",
+    "summarize",
+]
+
+PHASES = (
+    "send_overhead",
+    "wire",
+    "hdr_handler",
+    "copy",
+    "thread_switch",
+    "completion",
+)
+
+
+class TruncatedTraceError(RuntimeError):
+    """The tracer dropped records; a breakdown would silently lie."""
+
+
+_warned_truncated = False
+
+
+def _check_dropped(tracer: Tracer, allow_truncated: bool) -> None:
+    global _warned_truncated
+    if tracer.dropped == 0:
+        return
+    if not allow_truncated:
+        raise TruncatedTraceError(
+            f"tracer dropped {tracer.dropped} record(s) (capacity "
+            f"{tracer.capacity}); breakdowns would be incomplete — raise the "
+            "capacity or pass allow_truncated=True"
+        )
+    if not _warned_truncated:
+        _warned_truncated = True
+        warnings.warn(
+            f"computing breakdowns from a truncated trace "
+            f"({tracer.dropped} dropped record(s)); results may be partial",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+@dataclass
+class Breakdown:
+    """Where one message's end-to-end time went."""
+
+    src: int
+    dst: int
+    key: Any  # LAPI msg number or Pipes send id, sender-scoped
+    bytes: int
+    start: float
+    end: float
+    phases: dict[str, float]
+
+    @property
+    def end_to_end(self) -> float:
+        return self.end - self.start
+
+
+def _first_by_key(
+    records: list[TraceRecord], key_field: str
+) -> dict[tuple, TraceRecord]:
+    """Index records by (node, key), keeping the chronologically first."""
+    out: dict[tuple, TraceRecord] = {}
+    for r in records:
+        key = r.fields.get(key_field)
+        if key is None:
+            continue
+        k = (r.node, key)
+        if k not in out:
+            out[k] = r
+    return out
+
+
+def lapi_breakdowns(
+    tracer: Tracer, allow_truncated: bool = False
+) -> list[Breakdown]:
+    """One :class:`Breakdown` per completed LAPI active message.
+
+    Covers every ``amsend`` whose message reached ``cmpl_done`` on the
+    target — MPI data messages and the thin-MPCI control messages alike
+    (filter on ``bytes`` or count to isolate the data path).
+    """
+    _check_dropped(tracer, allow_truncated)
+    pkt_tx = _first_by_key(tracer.filter(layer="adapter", event="pkt_tx"), "msg")
+    pkt_rx = _first_by_key(tracer.filter(layer="adapter", event="pkt_rx"), "msg")
+    hdr = _first_by_key(tracer.filter(layer="lapi", event="hdr_handler"), "msg")
+    done_copy = _first_by_key(tracer.filter(layer="lapi", event="msg_complete"), "msg")
+    cmpl = _first_by_key(tracer.filter(layer="lapi", event="cmpl_done"), "msg")
+    # context switches into the completion-handler thread, per node
+    switches: dict[int, list[TraceRecord]] = {}
+    for r in tracer.filter(layer="cpu", event="ctx_switch", to="cmpl"):
+        switches.setdefault(r.node, []).append(r)
+
+    out: list[Breakdown] = []
+    for send in tracer.filter(layer="lapi", event="amsend"):
+        msg = send.fields["msg"]
+        dst = send.fields["tgt"]
+        t_tx = pkt_tx.get((send.node, msg))
+        t_rx = pkt_rx.get((dst, msg))
+        t_hdr = hdr.get((dst, msg))
+        t_asm = done_copy.get((dst, msg))
+        t_done = cmpl.get((dst, msg))
+        if None in (t_tx, t_rx, t_hdr, t_asm, t_done):
+            continue  # still in flight (or truncated away)
+        # the switch into the completion thread, if one was charged while
+        # this message sat between assembly and its done mark (zero on
+        # the enhanced variant and whenever the thread was already hot)
+        switch_us = 0.0
+        for r in switches.get(dst, ()):
+            if t_asm.time <= r.time <= t_done.time:
+                switch_us = min(r.fields["cost_us"], t_done.time - t_asm.time)
+                break
+        out.append(
+            Breakdown(
+                src=send.node,
+                dst=dst,
+                key=msg,
+                bytes=send.fields.get("bytes", 0),
+                start=send.time,
+                end=t_done.time,
+                phases={
+                    "send_overhead": t_tx.time - send.time,
+                    "wire": t_rx.time - t_tx.time,
+                    "hdr_handler": t_hdr.time - t_rx.time,
+                    "copy": t_asm.time - t_hdr.time,
+                    "thread_switch": switch_us,
+                    "completion": t_done.time - t_asm.time - switch_us,
+                },
+            )
+        )
+    return out
+
+
+def pipes_breakdowns(
+    tracer: Tracer, allow_truncated: bool = False
+) -> list[Breakdown]:
+    """One :class:`Breakdown` per completed native-stack data frame.
+
+    Frames are matched to their MPCI completion through the send id the
+    frame metadata carries, so only eager/rdata frames (the ones that
+    complete a message) produce entries; bare control frames do not.
+    """
+    _check_dropped(tracer, allow_truncated)
+    pkt_tx = _first_by_key(tracer.filter(layer="adapter", event="pkt_tx"), "fid")
+    pkt_rx = _first_by_key(tracer.filter(layer="adapter", event="pkt_rx"), "fid")
+    complete = _first_by_key(tracer.filter(layer="mpci", event="msg_complete"), "sid")
+
+    out: list[Breakdown] = []
+    for send in tracer.filter(layer="pipes", event="frame_send"):
+        if send.fields.get("t") not in ("eager", "rdata"):
+            continue
+        fid = send.fields["fid"]
+        sid = send.fields["sid"]
+        dst = send.fields["dst"]
+        t_tx = pkt_tx.get((send.node, fid))
+        t_rx = pkt_rx.get((dst, fid))
+        t_done = complete.get((dst, sid))
+        if None in (t_tx, t_rx, t_done):
+            continue
+        out.append(
+            Breakdown(
+                src=send.node,
+                dst=dst,
+                key=sid,
+                bytes=send.fields.get("bytes", 0),
+                start=send.time,
+                end=t_done.time,
+                phases={
+                    "send_overhead": t_tx.time - send.time,
+                    "wire": t_rx.time - t_tx.time,
+                    "hdr_handler": 0.0,
+                    "copy": t_done.time - t_rx.time,
+                    "thread_switch": 0.0,
+                    "completion": 0.0,
+                },
+            )
+        )
+    return out
+
+
+def summarize(breakdowns: list[Breakdown]) -> dict:
+    """Mean per-phase and end-to-end times, JSON-able.
+
+    Returns ``{"count", "bytes", "end_to_end_us", "phases_us"}`` with
+    means over the given breakdowns (zeros when the list is empty).
+    """
+    n = len(breakdowns)
+    if n == 0:
+        return {
+            "count": 0,
+            "bytes": 0,
+            "end_to_end_us": 0.0,
+            "phases_us": {p: 0.0 for p in PHASES},
+        }
+    return {
+        "count": n,
+        "bytes": max(b.bytes for b in breakdowns),
+        "end_to_end_us": sum(b.end_to_end for b in breakdowns) / n,
+        "phases_us": {
+            p: sum(b.phases[p] for b in breakdowns) / n for p in PHASES
+        },
+    }

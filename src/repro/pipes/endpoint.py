@@ -8,7 +8,7 @@ from repro.hal import Hal, fragment
 from repro.machine.cpu import Cpu
 from repro.machine.params import MachineParams
 from repro.machine.stats import NodeStats
-from repro.sim import Environment, Event
+from repro.sim import AnyOf, Environment, Event
 from repro.transport import ReceiverLedger, SenderWindow
 
 __all__ = ["PipeEndpoint"]
@@ -68,6 +68,13 @@ class PipeEndpoint:
         self._tx: dict[int, _FlowTx] = {}
         self._rx: dict[int, _FlowRx] = {}
         self.on_packet: Optional[Callable[..., Generator]] = None
+        # observability: the staging/reorder copies are what the paper's
+        # Fig 11/12 argument charges the native stack for
+        self.metrics = stats.registry
+        self._m_frames = self.metrics.counter("pipes.frames_sent")
+        self._m_staged = self.metrics.counter("pipes.bytes_staged")
+        self._m_reordered = self.metrics.counter("pipes.bytes_reordered")
+        self._g_inflight = self.metrics.gauge("pipes.pkts_in_flight")
 
     # ------------------------------------------------------------------
     def _flow_tx(self, dst: int) -> _FlowTx:
@@ -109,6 +116,9 @@ class PipeEndpoint:
             raise ValueError("pipes do not loop back to self")
         flow = self._flow_tx(dst)
         size = len(data)
+        self._m_frames.incr()
+        self.stats.trace("pipes", "frame_send", fid=fid, dst=dst, bytes=size,
+                         sid=meta.get("sid"), t=meta.get("t"))
         chunks = fragment(size, self.params.packet_payload)
         last_idx = len(chunks) - 1
         for idx, (off, ln) in enumerate(chunks):
@@ -119,7 +129,12 @@ class PipeEndpoint:
                 yield from self.dispatch(thread)
                 if flow.window.can_send:
                     break
-                yield self.wait_rx()
+                # Wait on the window as well as the FIFO: a concurrent
+                # dispatcher (MPCI poller, ISR) may pop the ack before we
+                # wake, in which case no further rx ever arrives here.
+                waiter = self.env.event()
+                flow.waiters.append(waiter)
+                yield AnyOf(self.env, [waiter, self.wait_rx()])
             payload = data[off : off + ln]
             buffered = off < buffered_prefix or (off + ln) > size - buffered_suffix
             header: dict[str, Any] = {
@@ -133,11 +148,13 @@ class PipeEndpoint:
             if idx == 0:
                 header["meta"] = meta
             seq = flow.window.send((header, payload))
+            self._g_inflight.add(1)
             header["seq"] = seq
             # per-packet Pipes protocol work
             yield from self.cpu.execute(thread, self.params.pipe_pkt_us)
             if buffered and ln > 0:
                 # staging copy pipe buffer -> HAL network buffer
+                self._m_staged.incr(ln)
                 yield from self.cpu.memcpy(thread, ln)
             yield from self.hal.send(
                 thread,
@@ -200,6 +217,7 @@ class PipeEndpoint:
         flow = self._flow_tx(src)
         freed = flow.window.on_ack(cum)
         if freed:
+            self._g_inflight.add(-freed)
             flow.last_progress = self.env.now
             waiters, flow.waiters = flow.waiters, []
             for ev in waiters:
@@ -219,6 +237,7 @@ class PipeEndpoint:
         flow.since_ack += 1
         if header.get("buffered") and payload:
             # reordering copy HAL buffer -> pipe buffer
+            self._m_reordered.incr(len(payload))
             yield from self.cpu.memcpy(thread, len(payload))
         flow.stash[header["seq"]] = (header, payload)
         # release the in-order prefix to MPCI

@@ -180,6 +180,8 @@ class Process(Event):
         self._gen = gen
         self._target: Optional[Event] = None
         self.name = name or getattr(gen, "__name__", "process")
+        if env._m_procs is not None:
+            env._m_procs.incr()
         Initialize(env, self)
 
     @property
@@ -193,6 +195,8 @@ class Process(Event):
         Interruption(self, cause)
 
     def _resume(self, event: Event) -> None:
+        if self.env._m_switches is not None and self.env._active_proc is not self:
+            self.env._m_switches.incr()
         self.env._active_proc = self
         while True:
             if event._ok:
@@ -344,13 +348,28 @@ class AllOf(Condition):
 
 
 class Environment:
-    """Simulation environment: clock plus the event queue."""
+    """Simulation environment: clock plus the event queue.
 
-    def __init__(self, initial_time: float = 0.0):
+    Pass a :class:`repro.obs.MetricsRegistry` as ``metrics`` to collect
+    event-loop statistics (events popped, heap-depth high water, process
+    switches, processes started).  All stats are counts of simulation
+    activity, never wall clock, so they are deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0, metrics=None):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_proc: Optional[Process] = None
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_popped = metrics.counter("sim.events_popped")
+            self._m_heap = metrics.gauge("sim.heap_depth")
+            self._m_switches = metrics.counter("sim.process_switches")
+            self._m_procs = metrics.counter("sim.processes_started")
+        else:
+            self._m_popped = self._m_heap = None
+            self._m_switches = self._m_procs = None
 
     @property
     def now(self) -> float:
@@ -381,6 +400,8 @@ class Environment:
     def _enqueue(self, event: Event, delay: float, priority: int) -> None:
         self._seq += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        if self._m_heap is not None:
+            self._m_heap.set(len(self._queue))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -390,6 +411,8 @@ class Environment:
         """Process one event off the queue."""
         when, _prio, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        if self._m_popped is not None:
+            self._m_popped.incr()
         callbacks, event.callbacks = event.callbacks, None
         event._processed = True
         for cb in callbacks:

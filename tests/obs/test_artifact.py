@@ -1,0 +1,86 @@
+"""Benchmark artifact schema: make, validate, round-trip, CLI."""
+
+import json
+
+import pytest
+
+from repro.bench.artifact import (
+    SCHEMA,
+    load_artifact,
+    main,
+    make_artifact,
+    validate_artifact,
+    write_artifact,
+)
+
+ROWS = [{"size": 1, "us": 10.5}, {"size": 1024, "us": 42.0}]
+
+
+def _doc(**overrides):
+    doc = make_artifact("demo", {"sizes": [1, 1024]}, list(ROWS))
+    doc.update(overrides)
+    return doc
+
+
+def test_make_artifact_is_valid():
+    assert validate_artifact(_doc()) == []
+
+
+def test_round_trip(tmp_path):
+    path = write_artifact(_doc(), tmp_path)
+    assert path.name == "BENCH_demo.json"
+    assert load_artifact(path)["results"] == ROWS
+
+
+def test_write_is_deterministic(tmp_path):
+    a = write_artifact(_doc(), tmp_path / "a").read_bytes()
+    b = write_artifact(_doc(), tmp_path / "b").read_bytes()
+    assert a == b
+
+
+@pytest.mark.parametrize(
+    "mutation, fragment",
+    [
+        ({"schema": "repro-bench/0"}, "schema"),
+        ({"name": "bad name!"}, "name"),
+        ({"params": []}, "params"),
+        ({"results": []}, "results"),
+        ({"results": [{"a": 1}, {"b": 2}]}, "keys differ"),
+        ({"results": [{"a": [1, 2]}]}, "scalar"),
+        ({"metrics": {"cluster": {}}}, "aggregate"),
+        ({"breakdown": {}}, "breakdown"),
+        ({"breakdown": {"x": {"count": 1, "phases_us": {"wire": 1.0}}}},
+         "phases_us"),
+    ],
+)
+def test_invalid_documents_are_rejected(mutation, fragment):
+    problems = validate_artifact(_doc(**mutation))
+    assert problems, mutation
+    assert any(fragment in p for p in problems), problems
+
+
+def test_write_refuses_invalid(tmp_path):
+    with pytest.raises(ValueError):
+        write_artifact(_doc(schema="nope"), tmp_path)
+
+
+def test_breakdown_section_validates():
+    from repro.obs import summarize
+
+    doc = make_artifact("demo", {}, list(ROWS),
+                        breakdown={"lapi-enhanced": summarize([])})
+    assert validate_artifact(doc) == []
+
+
+def test_cli_validate(tmp_path, capsys):
+    good = write_artifact(_doc(), tmp_path)
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text(json.dumps({"schema": SCHEMA, "name": "bad"}))
+    assert main(["validate", str(good)]) == 0
+    assert main(["validate", str(good), str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "OK" in out and "INVALID" in out
+
+
+def test_cli_usage_error():
+    assert main([]) == 2

@@ -1,0 +1,140 @@
+"""Protocol-conformance sweep: exact counter deltas per stack.
+
+A fixed eager ping-pong (2 nodes, 3 reps each way, 256 B — six one-way
+messages total) must produce exactly the counter deltas each protocol
+stack's cost model promises:
+
+- every LAPI variant moves each message with **one** copy (the header
+  handler's assemble into the user buffer);
+- the native stack pays **four** copies per message — the send-side
+  staging into the pipe buffer and HAL send buffer, the receive-side
+  reordering copy and the final copy to the user buffer (two extra per
+  side vs LAPI, the paper's Fig 11/12 argument);
+- the base variant runs every completion handler on the separate LAPI
+  completion thread (nonzero context switches); counters avoids the
+  handler entirely for eager data; enhanced runs it inline in the
+  dispatcher (zero context switches).
+"""
+
+import pytest
+
+from repro.cluster import SPCluster
+
+SIZE = 256
+REPS = 3
+MSGS = 2 * REPS  # one-way messages: REPS each direction
+
+
+def run_pingpong(stack: str):
+    cluster = SPCluster(2, stack=stack)
+
+    def program(comm, rank, size):
+        payload = bytes(SIZE)
+        buf = bytearray(SIZE)
+        for _ in range(REPS):
+            if rank == 0:
+                yield from comm.send(payload, dest=1)
+                yield from comm.recv(buf, source=1)
+            else:
+                yield from comm.recv(buf, source=0)
+                yield from comm.send(payload, dest=0)
+        return None
+
+    return cluster.run(program)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        stack: run_pingpong(stack)
+        for stack in ("lapi-base", "lapi-counters", "lapi-enhanced", "native")
+    }
+
+
+LAPI_STACKS = ("lapi-base", "lapi-counters", "lapi-enhanced")
+
+
+# ----------------------------------------------------- shared invariants
+@pytest.mark.parametrize(
+    "stack", ["lapi-base", "lapi-counters", "lapi-enhanced", "native"]
+)
+def test_message_counts(results, stack):
+    agg = results[stack].metrics["aggregate"]["counters"]
+    assert agg["msgs_sent"] == MSGS
+    assert agg["msgs_received"] == MSGS
+    assert agg["eager_sends"] == MSGS
+    assert agg["mpi.proto.eager.standard"] == MSGS
+    assert agg.get("early_arrivals", 0) == 0
+
+
+# --------------------------------------------------------------- copies
+@pytest.mark.parametrize("stack", LAPI_STACKS)
+def test_lapi_single_copy_per_message(results, stack):
+    agg = results[stack].metrics["aggregate"]["counters"]
+    assert agg["copies"] == MSGS  # one assemble copy per message
+
+
+def test_native_pays_two_extra_copies_per_side(results):
+    agg = results["native"].metrics["aggregate"]["counters"]
+    assert agg["copies"] == 4 * MSGS
+    # ...and they are the Pipes staging/reordering copies, byte for byte
+    assert agg["pipes.bytes_staged"] == SIZE * MSGS
+    assert agg["pipes.bytes_reordered"] == SIZE * MSGS
+    assert agg["pipes.frames_sent"] == MSGS
+
+
+# ------------------------------------------------- completion machinery
+def test_base_runs_completion_handlers_on_thread(results):
+    agg = results["lapi-base"].metrics["aggregate"]["counters"]
+    assert agg["cmpl_handlers_threaded"] == MSGS
+    assert agg["cmpl_handlers_inline"] == 0
+    assert agg["ctx_switches"] > 0
+
+
+def test_counters_variant_needs_no_completion_handler(results):
+    agg = results["lapi-counters"].metrics["aggregate"]["counters"]
+    assert agg["cmpl_handlers_threaded"] == 0
+    assert agg["cmpl_handlers_inline"] == 0
+    assert agg["ctx_switches"] == 0
+
+
+def test_enhanced_runs_completion_handlers_inline(results):
+    agg = results["lapi-enhanced"].metrics["aggregate"]["counters"]
+    assert agg["cmpl_handlers_inline"] == MSGS
+    assert agg["cmpl_handlers_threaded"] == 0
+    assert agg["ctx_switches"] == 0
+
+
+# ------------------------------------------------------ LAPI op counters
+@pytest.mark.parametrize("stack", LAPI_STACKS)
+def test_lapi_op_counters(results, stack):
+    agg = results[stack].metrics["aggregate"]["counters"]
+    assert agg["lapi.amsend"] == MSGS
+    assert agg["lapi.hdr.mpi_eager"] == MSGS
+    assert agg["hdr_handlers_run"] == MSGS
+    assert agg["lapi.put"] == 0
+    assert agg["lapi.get"] == 0
+
+
+def test_native_has_no_lapi_metrics(results):
+    agg = results["native"].metrics["aggregate"]["counters"]
+    assert not any(k.startswith("lapi.") for k in agg)
+    assert agg["hdr_handlers_run"] == 0
+
+
+# ----------------------------------------------------------- sim kernel
+@pytest.mark.parametrize(
+    "stack", ["lapi-base", "lapi-counters", "lapi-enhanced", "native"]
+)
+def test_sim_kernel_metrics_present(results, stack):
+    cl = results[stack].metrics["cluster"]
+    assert cl["counters"]["sim.events_popped"] > 0
+    assert cl["counters"]["sim.processes_started"] >= 2
+    assert cl["gauges"]["sim.heap_depth"]["high_water"] >= 1
+
+
+def test_gauges_drain_cleanly(results):
+    for stack, res in results.items():
+        gauges = res.metrics["aggregate"]["gauges"]
+        assert gauges["mpi.ea_bytes"]["value"] == 0, stack
+        assert gauges["mpi.unexpected_depth"]["value"] == 0, stack

@@ -1,0 +1,65 @@
+"""Property tests: histogram conservation and breakdown partitioning."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry, PHASES
+from repro.obs.registry import Histogram
+
+samples = st.lists(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False,
+              allow_infinity=False),
+    min_size=0, max_size=200,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(samples)
+def test_bucket_counts_sum_to_observation_count(xs):
+    h = MetricsRegistry().histogram("t")
+    for x in xs:
+        h.observe(x)
+    assert sum(h.buckets) == h.count == len(xs)
+
+
+@settings(max_examples=50, deadline=None)
+@given(samples, st.integers(min_value=2, max_value=40))
+def test_every_sample_lands_in_exactly_one_bucket(xs, nbuckets):
+    h = Histogram("t", nbuckets=nbuckets)
+    for x in xs:
+        idx = h.bucket_index(x, nbuckets)
+        assert 0 <= idx < nbuckets
+        lo = 0.0 if idx == 0 else float(1 << (idx - 1))
+        hi = h.upper_bounds()[idx]
+        assert lo <= x or idx == 0
+        assert x < hi or idx == nbuckets - 1
+        h.observe(x)
+    assert sum(h.buckets) == len(xs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=0.0, max_value=1e12, allow_nan=False))
+def test_bucket_index_is_monotone(x):
+    # doubling a sample never decreases its bucket
+    assert Histogram.bucket_index(2 * x) >= Histogram.bucket_index(x)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    st.lists(st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+             min_size=len(PHASES), max_size=len(PHASES)),
+)
+def test_breakdown_phases_sum_to_end_to_end(start, durations):
+    """A breakdown built from telescoping timestamps partitions its
+    interval exactly (the construction the profiler uses)."""
+    from repro.obs import Breakdown
+
+    t = start
+    phases = {}
+    for name, d in zip(PHASES, durations):
+        phases[name] = d
+        t += d
+    b = Breakdown(src=0, dst=1, key=0, bytes=8, start=start, end=t,
+                  phases=phases)
+    assert abs(sum(b.phases.values()) - b.end_to_end) <= 1e-6 * max(1.0, t)

@@ -1,0 +1,128 @@
+"""The metrics registry: typed instruments, snapshots, merging."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+# ------------------------------------------------------------- counters
+def test_counter_incr_and_set():
+    r = MetricsRegistry()
+    c = r.counter("x")
+    c.incr()
+    c.incr(4)
+    assert c.value == 5
+    c.set(2)
+    assert r.counter("x").value == 2  # get-or-create returns the same object
+    assert r.counter("x") is c
+
+
+def test_counter_value_of_untouched_name_is_zero():
+    r = MetricsRegistry()
+    assert r.counter_value("never.created") == 0
+    assert "never.created" not in r.snapshot()["counters"]
+
+
+# --------------------------------------------------------------- gauges
+def test_gauge_tracks_high_water():
+    r = MetricsRegistry()
+    g = r.gauge("depth")
+    g.set(3)
+    g.set(7)
+    g.set(1)
+    assert g.value == 1
+    assert g.high_water == 7
+    g.add(10)
+    assert g.value == 11
+    assert g.high_water == 11
+    g.add(-11)
+    assert g.value == 0
+    assert g.high_water == 11
+
+
+# ----------------------------------------------------------- histograms
+def test_histogram_log2_bucket_edges():
+    # bucket 0 holds x < 1; bucket i holds [2^(i-1), 2^i)
+    assert Histogram.bucket_index(0.0) == 0
+    assert Histogram.bucket_index(0.999) == 0
+    assert Histogram.bucket_index(1.0) == 1
+    assert Histogram.bucket_index(1.999) == 1
+    assert Histogram.bucket_index(2.0) == 2
+    assert Histogram.bucket_index(3.999) == 2
+    assert Histogram.bucket_index(4.0) == 3
+
+
+def test_histogram_observe_clamps_to_last_bucket():
+    r = MetricsRegistry()
+    h = r.histogram("lat", nbuckets=4)
+    h.observe(1e12)
+    assert h.buckets[-1] == 1
+    assert h.count == 1
+
+
+def test_histogram_rejects_negative():
+    h = MetricsRegistry().histogram("lat")
+    with pytest.raises(ValueError):
+        h.observe(-0.5)
+
+
+def test_histogram_sum_and_count():
+    h = MetricsRegistry().histogram("lat")
+    for x in (0.5, 1.5, 1.5, 100.0):
+        h.observe(x)
+    assert h.count == 4
+    assert math.isclose(h.total, 103.5)
+    assert sum(h.buckets) == 4
+
+
+# ----------------------------------------------------- name collisions
+def test_cross_type_name_collision_raises():
+    r = MetricsRegistry()
+    r.counter("x")
+    with pytest.raises(ValueError):
+        r.gauge("x")
+    with pytest.raises(ValueError):
+        r.histogram("x")
+
+
+# ------------------------------------------------------------ snapshots
+def test_snapshot_is_sorted_and_json_able():
+    r = MetricsRegistry()
+    r.counter("b").incr()
+    r.counter("a").incr(2)
+    r.gauge("g").set(5)
+    r.histogram("h").observe(3.0)
+    snap = r.snapshot()
+    assert list(snap["counters"]) == ["a", "b"]
+    assert snap["gauges"]["g"] == {"value": 5, "high_water": 5}
+    assert snap["histograms"]["h"]["count"] == 1
+    json.dumps(snap)  # must not raise
+
+
+def test_snapshot_is_a_copy():
+    r = MetricsRegistry()
+    r.counter("a").incr()
+    snap = r.snapshot()
+    r.counter("a").incr()
+    assert snap["counters"]["a"] == 1
+
+
+# -------------------------------------------------------------- merging
+def test_merged_sums_counters_and_histograms_maxes_high_water():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("c").incr(2)
+    b.counter("c").incr(3)
+    b.counter("only_b").incr()
+    a.gauge("g").set(10)
+    b.gauge("g").set(4)
+    a.histogram("h").observe(1.0)
+    b.histogram("h").observe(2.0)
+    m = MetricsRegistry.merged([a, b])
+    snap = m.snapshot()
+    assert snap["counters"]["c"] == 5
+    assert snap["counters"]["only_b"] == 1
+    assert snap["gauges"]["g"]["high_water"] == 10
+    assert snap["histograms"]["h"]["count"] == 2

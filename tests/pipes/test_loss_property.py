@@ -3,7 +3,7 @@ loss rates, seeds and fragmentations."""
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from tests.pipes.test_endpoint import Rig, frame_bytes
@@ -16,6 +16,10 @@ from tests.pipes.test_endpoint import Rig, frame_bytes
     nbytes=st.integers(min_value=1, max_value=6000),
     payload=st.sampled_from([128, 256, 1024]),
 )
+# Regression: a concurrent poller stole the ack that would have opened
+# the sender window for the final 1-byte fragment; send_frame slept on
+# wait_rx forever and silently truncated the frame.
+@example(seed=636, loss=0.03125, nbytes=4737, payload=128)
 def test_stream_integrity_under_random_loss(seed, loss, nbytes, payload):
     rig = Rig(packet_payload=payload, packet_loss_rate=loss, seed=seed)
     rig.run_poller(0)

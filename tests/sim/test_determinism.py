@@ -95,6 +95,58 @@ def test_condition_of_conditions():
     assert env.run(until=p) == 2.0
 
 
+def _traced_pingpong(stack):
+    from repro.cluster import SPCluster
+
+    cluster = SPCluster(2, stack=stack, trace=True)
+
+    def program(comm, rank, size):
+        payload = bytes(128)
+        buf = bytearray(128)
+        for _ in range(3):
+            if rank == 0:
+                yield from comm.send(payload, dest=1)
+                yield from comm.recv(buf, source=1)
+            else:
+                yield from comm.recv(buf, source=0)
+                yield from comm.send(payload, dest=0)
+        return None
+
+    result = cluster.run(program)
+    return cluster, result
+
+
+def test_metrics_snapshots_are_byte_identical():
+    """Identical runs serialise to identical bytes — the metrics layer
+    introduces no wall clock, randomness, or ordering dependence."""
+    import json
+
+    for stack in ("lapi-enhanced", "native"):
+        _c1, r1 = _traced_pingpong(stack)
+        _c2, r2 = _traced_pingpong(stack)
+        s1 = json.dumps(r1.metrics, sort_keys=True)
+        s2 = json.dumps(r2.metrics, sort_keys=True)
+        assert s1 == s2, stack
+
+
+def test_latency_breakdowns_are_byte_identical():
+    import json
+
+    from repro.obs import lapi_breakdowns, pipes_breakdowns, summarize
+
+    def capture(stack):
+        cluster, _res = _traced_pingpong(stack)
+        fn = pipes_breakdowns if stack == "native" else lapi_breakdowns
+        downs = fn(cluster.tracer)
+        return json.dumps(
+            [(b.src, b.dst, b.key, b.start, b.end, b.phases) for b in downs],
+            sort_keys=True,
+        ), json.dumps(summarize(downs), sort_keys=True)
+
+    for stack in ("lapi-base", "native"):
+        assert capture(stack) == capture(stack), stack
+
+
 def test_failed_event_inside_condition_propagates():
     env = Environment()
     bad = env.event()
