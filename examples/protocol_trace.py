@@ -48,8 +48,19 @@ def show(title, stats):
             print(f"    {name:24s} {v}")
 
 
-def timeline(stack, size):
-    """Print the actual event timeline of one message (trace subsystem)."""
+def timeline(stack, size, export_perfetto=False):
+    """Print one message's causal span tree (the trace subsystem).
+
+    With ``export_perfetto`` the same trees are also written as
+    Perfetto/Chrome trace-event JSON — drop the file on
+    https://ui.perfetto.dev to see the cross-node timeline with flow
+    arrows from sender to receiver.
+    """
+    import os
+    import tempfile
+
+    from repro.obs import build_span_trees, render_text, write_chrome_trace
+
     cluster = SPCluster(2, stack=stack, trace=True)
     payload = bytes(size)
 
@@ -62,20 +73,22 @@ def timeline(stack, size):
         return None
 
     cluster.run(program)
-    interesting = ("amsend", "hdr_handler", "matched_posted", "early_arrival",
-                   "msg_complete", "cmpl_inline", "cmpl_queued_to_thread",
-                   "cmpl_thread_run", "rts_acked")
-    print(f"\n=== timeline: one {size}-byte message on {stack}")
-    for r in cluster.tracer.records:
-        if r.event in interesting:
-            print(f"    {r}")
+    trees = build_span_trees(cluster.tracer)
+    print(f"\n=== span tree: one {size}-byte message on {stack}")
+    print(render_text(trees), end="")
+    if export_perfetto:
+        path = os.path.join(tempfile.gettempdir(),
+                            f"protocol_trace_{stack}_{size}.perfetto.json")
+        write_chrome_trace(trees, path)
+        print(f"    perfetto export -> {path}")
 
 
 def main():
     el = MachineParams().eager_limit
     print(f"eager limit = {el} bytes (paper default)")
     timeline("lapi-enhanced", 256)        # Fig 3: eager
-    timeline("lapi-enhanced", 3 * el)     # Figs 4-7: rendezvous
+    timeline("lapi-enhanced", 3 * el,     # Figs 4-7: rendezvous
+             export_perfetto=True)
     timeline("lapi-base", 256)            # the §5 thread hand-off, visible
     show("eager, receive pre-posted (lapi-enhanced, 256 B)",
          send_one("lapi-enhanced", 256, late_receiver=False))

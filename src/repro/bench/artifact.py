@@ -31,7 +31,8 @@ __all__ = [
 ]
 
 #: current artifact schema identifier; bump the suffix on layout changes
-SCHEMA = "repro-bench/1"
+#: (v2: breakdown phases gained "interrupt"; metrics may carry "trace")
+SCHEMA = "repro-bench/2"
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_\-]*$")
 _SCALAR = (str, int, float, bool, type(None))

@@ -25,6 +25,7 @@ __all__ = [
     "bandwidth_mbps",
     "interrupt_pingpong_us",
     "pingpong_breakdown",
+    "pingpong_capture",
     "pingpong_result",
     "pingpong_us",
     "raw_lapi_pingpong_us",
@@ -82,6 +83,76 @@ def pingpong_us(
                            params=params, seed=seed).values[0]
 
 
+def pingpong_capture(
+    stack: str,
+    msg_size: int,
+    reps: int = 4,
+    params: Optional[MachineParams] = None,
+    seed: int = 0,
+    interrupt_mode: bool = False,
+) -> SPCluster:
+    """Run a traced 2-node ping-pong and return the finished cluster.
+
+    The cluster's ``tracer`` holds the full capture — feed it to
+    :func:`repro.obs.lapi_breakdowns` / :func:`repro.obs.pipes_breakdowns`
+    for Fig 10 phases or :func:`repro.obs.build_span_trees` for
+    per-message causal trees.  With ``interrupt_mode`` the responder
+    pre-posts its receives and busy-checks the receive buffers' contents
+    without entering MPI (the paper's Fig 13 methodology), so delivery
+    progress is interrupt-driven and the hysteresis dwell shows up in
+    the capture.
+    """
+    if msg_size < 1:
+        raise ValueError("capture needs a positive message size")
+    if stack == "raw-lapi":
+        raise ValueError("pingpong_capture drives the MPI stacks")
+    cluster = SPCluster(2, stack=stack, params=_params(params), seed=seed,
+                        trace=True, interrupt_mode=interrupt_mode)
+
+    if interrupt_mode:
+        def program(comm, rank, size):
+            if rank == 1:
+                bufs = [np.zeros(msg_size, dtype=np.uint8) for _ in range(reps)]
+                reqs = []
+                for i in range(reps):
+                    r = yield from comm.irecv(bufs[i], source=0)
+                    reqs.append(r)
+                yield from comm.barrier()
+                for i in range(reps):
+                    marker = (i % 255) + 1
+                    # spin on memory contents — NOT on MPI calls
+                    while bufs[i][-1] != marker:
+                        yield from comm.backend.cpu.execute(
+                            "user", comm.backend.params.poll_check_us
+                        )
+                    yield from comm.send(bytes([marker]) * msg_size, dest=0)
+                return None
+            buf = bytearray(msg_size)
+            yield from comm.barrier()
+            for i in range(reps):
+                marker = (i % 255) + 1
+                yield from comm.send(bytes([marker]) * msg_size, dest=1)
+                yield from comm.recv(buf, source=1)
+            return None
+    else:
+        payload = bytes(msg_size)
+
+        def program(comm, rank, size):
+            buf = bytearray(msg_size)
+            yield from comm.barrier()
+            for _ in range(reps):
+                if rank == 0:
+                    yield from comm.send(payload, dest=1)
+                    yield from comm.recv(buf, source=1)
+                else:
+                    yield from comm.recv(buf, source=0)
+                    yield from comm.send(payload, dest=0)
+            return None
+
+    cluster.run(program)
+    return cluster
+
+
 def pingpong_breakdown(
     stack: str,
     msg_size: int,
@@ -89,39 +160,23 @@ def pingpong_breakdown(
     params: Optional[MachineParams] = None,
     seed: int = 0,
     allow_truncated: bool = False,
+    interrupt_mode: bool = False,
 ):
     """Per-phase latency decomposition of a ping-pong (paper Fig 10).
 
     Runs a traced ping-pong and attributes each data message's
-    end-to-end time to the six :data:`repro.obs.PHASES`.  Returns
+    end-to-end time to the seven :data:`repro.obs.PHASES`.  Returns
     ``(summary, breakdowns)`` where ``summary`` is the JSON-able output
     of :func:`repro.obs.summarize` over the data messages only (control
     traffic — barrier, rendezvous handshake — is excluded by size).
     Most meaningful at eager sizes, where one message is one frame.
+    With ``interrupt_mode`` the capture uses the Fig 13 methodology and
+    the hysteresis dwell lands in the ``interrupt`` phase.
     """
     from repro.obs import lapi_breakdowns, pipes_breakdowns, summarize
 
-    if msg_size < 1:
-        raise ValueError("breakdown needs a positive message size")
-    if stack == "raw-lapi":
-        raise ValueError("pingpong_breakdown drives the MPI stacks")
-    cluster = SPCluster(2, stack=stack, params=_params(params), seed=seed,
-                        trace=True)
-    payload = bytes(msg_size)
-
-    def program(comm, rank, size):
-        buf = bytearray(msg_size)
-        yield from comm.barrier()
-        for _ in range(reps):
-            if rank == 0:
-                yield from comm.send(payload, dest=1)
-                yield from comm.recv(buf, source=1)
-            else:
-                yield from comm.recv(buf, source=0)
-                yield from comm.send(payload, dest=0)
-        return None
-
-    cluster.run(program)
+    cluster = pingpong_capture(stack, msg_size, reps=reps, params=params,
+                               seed=seed, interrupt_mode=interrupt_mode)
     if stack == "native":
         downs = pipes_breakdowns(cluster.tracer, allow_truncated=allow_truncated)
     else:

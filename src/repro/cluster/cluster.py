@@ -198,13 +198,28 @@ class SPCluster:
 
         ``cluster`` holds sim-kernel and fabric metrics, ``nodes`` the
         per-node registries in rank order, ``aggregate`` their merge.
+        When tracing is on, ``trace`` summarises the capture: record and
+        drop counts (per layer), the number of distinct message ids
+        seen, and whether the capture is complete (nothing dropped).
         """
         node_regs = [s.registry for s in self.node_stats]
-        return {
+        snap = {
             "cluster": self.metrics.snapshot(),
             "aggregate": MetricsRegistry.merged(node_regs).snapshot(),
             "nodes": [r.snapshot() for r in node_regs],
         }
+        if self.tracer is not None:
+            mids = {r.fields["mid"] for r in self.tracer.records
+                    if "mid" in r.fields}
+            snap["trace"] = {
+                "records": len(self.tracer.records),
+                "dropped": self.tracer.dropped,
+                "dropped_by_layer": dict(sorted(
+                    self.tracer.dropped_by_layer.items())),
+                "messages": len(mids),
+                "complete": self.tracer.dropped == 0,
+            }
+        return snap
 
     def run(self, program: Callable, *args, **kwargs) -> RunResult:
         """Run ``program(comm, rank, size, *args, **kwargs)`` on all ranks.

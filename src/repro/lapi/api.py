@@ -63,6 +63,7 @@ class _Assembly:
     __slots__ = (
         "src",
         "msg_no",
+        "mid",
         "mlen",
         "received",
         "target",
@@ -79,6 +80,7 @@ class _Assembly:
     def __init__(self, src: int, msg_no: int):
         self.src = src
         self.msg_no = msg_no
+        self.mid: Optional[str] = None
         self.mlen = -1
         self.received = 0
         self.target = None
@@ -101,17 +103,19 @@ class _SendDesc:
         "uhdr",
         "udata",
         "msg_no",
+        "mid",
         "tgt_cntr_id",
         "org_cntr",
         "want_cmpl",
     )
 
-    def __init__(self, dst, hdr_hdl, uhdr, udata, msg_no, tgt_cntr_id, org_cntr, want_cmpl):
+    def __init__(self, dst, hdr_hdl, uhdr, udata, msg_no, mid, tgt_cntr_id, org_cntr, want_cmpl):
         self.dst = dst
         self.hdr_hdl = hdr_hdl
         self.uhdr = uhdr
         self.udata = udata
         self.msg_no = msg_no
+        self.mid = mid
         self.tgt_cntr_id = tgt_cntr_id
         self.org_cntr = org_cntr
         self.want_cmpl = want_cmpl
@@ -271,11 +275,16 @@ class Lapi:
         tgt_cntr_id: Optional[int] = None,
         org_cntr: Optional[Counter] = None,
         cmpl_cntr: Optional[Counter] = None,
+        mid: Optional[str] = None,
     ) -> Generator:
         """LAPI_Amsend: active-message send (non-blocking).
 
         Returns once the message is handed to the transmit engine; use
-        the counters to learn about buffer reuse / completion.
+        the counters to learn about buffer reuse / completion.  ``mid``
+        is an optional caller-assigned message id carried on every
+        packet and trace record of this message (MPI-LAPI threads its
+        cluster-unique message id through here so captures on both
+        nodes correlate — see ``repro.obs.spans``).
         """
         self._check_not_in_header_handler("LAPI_Amsend")
         if tgt == self.task_id:
@@ -284,14 +293,14 @@ class Lapi:
         msg_no = next(self._msg_nos)
         self._m_amsend.incr()
         self.stats.trace("lapi", "amsend", tgt=tgt, hh=hdr_hdl, msg=msg_no,
-                         bytes=len(udata))
+                         bytes=len(udata), mid=mid, thr=thread)
         want_cmpl = cmpl_cntr is not None
         if want_cmpl:
             # origin-side registration so the _cmpl echo can find it
             self._pending_cmpl[(tgt, msg_no)] = cmpl_cntr
         self._tx_outstanding += 1
         self._txq.put(
-            _SendDesc(tgt, hdr_hdl, uhdr, bytes(udata), msg_no, tgt_cntr_id, org_cntr, want_cmpl)
+            _SendDesc(tgt, hdr_hdl, uhdr, bytes(udata), msg_no, mid, tgt_cntr_id, org_cntr, want_cmpl)
         )
 
     def put(
@@ -479,6 +488,7 @@ class Lapi:
                     "kind": _DATA,
                     "seq": None,
                     "msg": desc.msg_no,
+                    "mid": desc.mid,
                     "off": off,
                     "mlen": len(desc.udata),
                 }
@@ -599,6 +609,7 @@ class Lapi:
         if header.get("first"):
             asm.header_seen = True
             asm.mlen = header["mlen"]
+            asm.mid = header.get("mid")
             asm.tgt_cntr_id = header.get("tgt_cntr")
             asm.want_cmpl = bool(header.get("want_cmpl"))
             try:
@@ -624,7 +635,8 @@ class Lapi:
             asm.cmpl_data = cmpl_data
             asm.cmpl_inline_always = header["hh"] in self._inline_always
             self.stats.trace("lapi", "hdr_handler", hh=header["hh"], src=src,
-                             msg=header["msg"], mlen=asm.mlen)
+                             msg=header["msg"], mlen=asm.mlen, mid=asm.mid,
+                             thr=thread)
             # flush chunks that raced ahead of the header packet
             for off, data in asm.stash:
                 yield from self._assemble(thread, asm, off, data)
@@ -657,17 +669,19 @@ class Lapi:
     def _complete(self, thread: str, asm: _Assembly) -> Generator:
         """Message fully assembled: run completion machinery."""
         self.stats.trace("lapi", "msg_complete", src=asm.src, msg=asm.msg_no,
-                         bytes=asm.mlen)
+                         bytes=asm.mlen, mid=asm.mid, thr=thread)
         if asm.cmpl_fn is not None:
             if self.enhanced or asm.cmpl_inline_always:
                 self.stats.cmpl_handlers_inline += 1
-                self.stats.trace("lapi", "cmpl_inline", msg=asm.msg_no)
+                self.stats.trace("lapi", "cmpl_inline", msg=asm.msg_no,
+                                 mid=asm.mid, thr=thread)
                 yield from self.cpu.execute(thread, self.params.lapi_inline_cmpl_us)
                 yield from asm.cmpl_fn(self, thread, asm.cmpl_data)
                 yield from self._post_complete(thread, asm)
             else:
                 self.stats.cmpl_handlers_threaded += 1
-                self.stats.trace("lapi", "cmpl_queued_to_thread", msg=asm.msg_no)
+                self.stats.trace("lapi", "cmpl_queued_to_thread", msg=asm.msg_no,
+                                 mid=asm.mid, thr=thread)
                 self._cmplq.put(asm)
         else:
             yield from self._post_complete(thread, asm)
@@ -679,14 +693,16 @@ class Lapi:
             asm: _Assembly = yield self._cmplq.get()
             # the context switch is charged by the CPU when this thread
             # name differs from the previous one
-            self.stats.trace("lapi", "cmpl_thread_run", msg=asm.msg_no)
+            self.stats.trace("lapi", "cmpl_thread_run", msg=asm.msg_no,
+                             mid=asm.mid, thr=thread)
             yield from self.cpu.execute(thread, self.params.lapi_inline_cmpl_us)
             yield from asm.cmpl_fn(self, thread, asm.cmpl_data)
             yield from self._post_complete(thread, asm)
 
     def _post_complete(self, thread: str, asm: _Assembly) -> Generator:
         """Counter updates after handler execution (paper §3 ordering)."""
-        self.stats.trace("lapi", "cmpl_done", src=asm.src, msg=asm.msg_no)
+        self.stats.trace("lapi", "cmpl_done", src=asm.src, msg=asm.msg_no,
+                         mid=asm.mid, thr=thread)
         if asm.tgt_cntr_id is not None:
             cntr = self._counters.get(asm.tgt_cntr_id)
             if cntr is None:

@@ -38,6 +38,7 @@ class InMsg:
         "proto",  # "eager" | "rts" | "rdata"
         "mode",
         "sid",
+        "mid",
         "want_bfree",
         "ea_buf",
         "req",
@@ -46,7 +47,8 @@ class InMsg:
     )
 
     def __init__(self, envelope: Envelope, src_task: int, mseq: int, size: int,
-                 proto: str, mode: str, sid: int, want_bfree: bool):
+                 proto: str, mode: str, sid: int, want_bfree: bool,
+                 mid: Optional[str] = None):
         self.envelope = envelope
         self.src_task = src_task
         self.mseq = mseq
@@ -54,6 +56,7 @@ class InMsg:
         self.proto = proto
         self.mode = mode
         self.sid = sid
+        self.mid = mid
         self.want_bfree = want_bfree
         self.ea_buf: Optional[bytearray] = None
         self.req: Optional[Request] = None
@@ -187,6 +190,17 @@ class Backend:
 
     def next_sid(self) -> int:
         return next(self._send_ids)
+
+    def mint_mid(self, sid: int) -> str:
+        """Cluster-unique message id for the send with local id ``sid``.
+
+        ``<origin task>:<origin send id>`` — unique across the whole
+        cluster without coordination, stable across reruns, and carried
+        by every packet header and trace record the message generates on
+        either node (the causal key ``repro.obs.spans`` reconstructs
+        span trees from).
+        """
+        return f"{self.task_id}:{sid}"
 
     def match_cost(self, inspected: int) -> float:
         p = self.params

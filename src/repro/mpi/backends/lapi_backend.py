@@ -142,7 +142,8 @@ class LapiBackend(Backend):
         """Sends control messages queued from synchronous contexts."""
         while True:
             dst, hh, uhdr = yield self._ctrlq.get()
-            yield from self.lapi.amsend("user", dst, hh, uhdr)
+            yield from self.lapi.amsend("user", dst, hh, uhdr,
+                                        mid=uhdr.get("mid"))
 
     # ------------------------------------------------------------- sends
     def isend(self, thread, data: bytes, dst_task: int, src_rank: int, tag: int,
@@ -153,6 +154,7 @@ class LapiBackend(Backend):
         size = len(data)
         proto = self.select_protocol(mode, size)
         sid = self.next_sid()
+        mid = self.mint_mid(sid)
         mseq = self.next_mseq(dst_task)
         want_bfree = mode == BUFFERED
         if want_bfree:
@@ -169,6 +171,7 @@ class LapiBackend(Backend):
             "size": size,
             "mode": mode,
             "sid": sid,
+            "mid": mid,
             "bfree": want_bfree,
         }
 
@@ -182,7 +185,7 @@ class LapiBackend(Backend):
             org = Counter(self.env, "org")
             yield from self.lapi.amsend(
                 thread, dst_task, "mpi_eager", uhdr, data,
-                tgt_cntr_id=tgt_cntr_id, org_cntr=org,
+                tgt_cntr_id=tgt_cntr_id, org_cntr=org, mid=mid,
             )
             if want_bfree:
                 req.complete(count=size)  # library owns the staged copy
@@ -196,7 +199,8 @@ class LapiBackend(Backend):
             uhdr["blocking"] = blocking and not want_bfree
             ps = PendingSend(data, dst_task, uhdr, req, uhdr["blocking"])
             self.pending_sends[sid] = ps
-            yield from self.lapi.amsend(thread, dst_task, "mpi_rts", uhdr)
+            yield from self.lapi.amsend(thread, dst_task, "mpi_rts", uhdr,
+                                        mid=mid)
             if want_bfree:
                 req.complete(count=size)
             if ps.blocking:
@@ -230,10 +234,11 @@ class LapiBackend(Backend):
             ps.dst_task,
             "mpi_rdata",
             {"sid": sid, "slot": ps.recv_slot, "size": len(ps.data),
-             "bfree": ps.uhdr["bfree"]},
+             "bfree": ps.uhdr["bfree"], "mid": ps.uhdr.get("mid")},
             ps.data,
             tgt_cntr_id=ps.recv_slot,
             org_cntr=org,
+            mid=ps.uhdr.get("mid"),
         )
         req = ps.req
         if not req.done:
@@ -274,7 +279,8 @@ class LapiBackend(Backend):
             slot_cid = self._alloc_rdata_slot(msg)
             yield from self.lapi.amsend(
                 thread, msg.src_task, "mpi_rts_ack",
-                {"sid": msg.sid, "slot": slot_cid},
+                {"sid": msg.sid, "slot": slot_cid, "mid": msg.mid},
+                mid=msg.mid,
             )
         elif msg.assembled:
             # message already sits complete in the early-arrival buffer
@@ -318,7 +324,7 @@ class LapiBackend(Backend):
         if msg.mseq != expected:
             self.stats.deferred_announcements += 1
             self.stats.trace("mpci", "announce_deferred", mseq=msg.mseq,
-                             expected=expected)
+                             expected=expected, mid=msg.mid)
             self._pending_ann.setdefault(src, {})[msg.mseq] = msg
             return
         self._match_now(msg, deferred=False)
@@ -346,7 +352,7 @@ class LapiBackend(Backend):
         msg.matched = True
         if handle is not None:
             self.stats.trace("mpci", "matched_posted", proto=msg.proto,
-                             tag=msg.envelope.tag, mseq=msg.mseq)
+                             tag=msg.envelope.tag, mseq=msg.mseq, mid=msg.mid)
             req: Request = handle
             self._check_fits(msg, req.ctx)
             msg.req = req
@@ -355,7 +361,8 @@ class LapiBackend(Backend):
                 if deferred:
                     self._ctrlq.put(
                         (msg.src_task, "mpi_rts_ack",
-                         {"sid": msg.sid, "slot": self._alloc_rdata_slot(msg)})
+                         {"sid": msg.sid, "slot": self._alloc_rdata_slot(msg),
+                          "mid": msg.mid})
                     )
         elif msg.mode == READY:
             # Fig 3: ready-mode message with no posted receive is fatal
@@ -365,7 +372,7 @@ class LapiBackend(Backend):
             )
         else:
             self.stats.trace("mpci", "early_arrival", proto=msg.proto,
-                             tag=msg.envelope.tag, mseq=msg.mseq)
+                             tag=msg.envelope.tag, mseq=msg.mseq, mid=msg.mid)
             self.early.add(msg.envelope, msg)
             self._track_unexpected()
 
@@ -387,7 +394,8 @@ class LapiBackend(Backend):
 
                 req.set_finalizer(finalize)
         if msg.want_bfree:
-            self._ctrlq.put((msg.src_task, "mpi_bfree", {"sid": msg.sid}))
+            self._ctrlq.put((msg.src_task, "mpi_bfree",
+                             {"sid": msg.sid, "mid": msg.mid}))
 
     def _cmpl_mark(self, lapi: Lapi, thread: str, msg: InMsg) -> Generator:
         """Base/Enhanced completion handler: mark the message complete
@@ -399,7 +407,9 @@ class LapiBackend(Backend):
         """Fig 4c: completion handler of a matched request-to-send."""
         yield from lapi.amsend(
             thread, msg.src_task, "mpi_rts_ack",
-            {"sid": msg.sid, "slot": self._alloc_rdata_slot(msg)},
+            {"sid": msg.sid, "slot": self._alloc_rdata_slot(msg),
+             "mid": msg.mid},
+            mid=msg.mid,
         )
 
     # ------------------------------------------------- header handlers
@@ -408,7 +418,7 @@ class LapiBackend(Backend):
         msg = InMsg(
             Envelope(uhdr["ctx"], uhdr["srank"], uhdr["tag"]),
             src_task, uhdr["mseq"], uhdr["size"], "eager", uhdr["mode"],
-            uhdr["sid"], uhdr["bfree"],
+            uhdr["sid"], uhdr["bfree"], mid=uhdr.get("mid"),
         )
         self._announce(msg)
         if msg.req is not None and msg.matched:
@@ -433,7 +443,7 @@ class LapiBackend(Backend):
         msg = InMsg(
             Envelope(uhdr["ctx"], uhdr["srank"], uhdr["tag"]),
             src_task, uhdr["mseq"], uhdr["size"], "rts", uhdr["mode"],
-            uhdr["sid"], uhdr["bfree"],
+            uhdr["sid"], uhdr["bfree"], mid=uhdr.get("mid"),
         )
         self._announce(msg)
         if msg.req is not None and msg.matched:
@@ -448,7 +458,7 @@ class LapiBackend(Backend):
         if ps is None:
             return NullTarget(), None, None
         self.stats.trace("mpci", "rts_acked", sid=uhdr["sid"],
-                         blocking=ps.blocking)
+                         blocking=ps.blocking, mid=ps.uhdr.get("mid"))
         ps.recv_slot = uhdr.get("slot")
         if ps.blocking:
             ps.acked = True
@@ -465,7 +475,8 @@ class LapiBackend(Backend):
             raise MpiFatal(f"rendezvous data for unknown receive (sid {uhdr['sid']})")
         req, envelope = bound
         msg = InMsg(envelope, src_task, -1, uhdr["size"], "rdata",
-                    "standard", uhdr["sid"], uhdr.get("bfree", False))
+                    "standard", uhdr["sid"], uhdr.get("bfree", False),
+                    mid=uhdr.get("mid"))
         msg.req = req
         msg.matched = True
         if self.variant == "counters":

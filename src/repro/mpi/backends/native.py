@@ -81,6 +81,8 @@ class NativeBackend(Backend):
         while True:
             # dwell: spin on the CPU hoping more packets arrive
             self.stats.hysteresis_dwells += 1
+            self.stats.trace("cpu", "hysteresis_dwell", us=self._hysteresis_us,
+                             thr=thread)
             yield from self.cpu.execute(thread, self._hysteresis_us)
             if self.pipes.rx_pending == 0:
                 self._hysteresis_us = p.hysteresis_initial_us
@@ -100,6 +102,7 @@ class NativeBackend(Backend):
         size = len(data)
         proto = self.select_protocol(mode, size)
         sid = self.next_sid()
+        mid = self.mint_mid(sid)
         mseq = self.next_mseq(dst_task)
         want_bfree = mode == BUFFERED
         if want_bfree:
@@ -115,6 +118,7 @@ class NativeBackend(Backend):
             "size": size,
             "mode": mode,
             "sid": sid,
+            "mid": mid,
             "bfree": want_bfree,
         }
 
@@ -160,7 +164,7 @@ class NativeBackend(Backend):
                 yield from self.pipes.send_frame(
                     "user", dst, meta, data,
                     buffered_prefix=bpre, buffered_suffix=bsuf,
-                    on_payload_out=on_out, fid=fid,
+                    on_payload_out=on_out, fid=fid, mid=meta.get("mid"),
                 )
                 self._tx_bytes_queued -= len(data) if meta.get("t") == "eager" else 0
                 waiters, self._tx_waiters = self._tx_waiters, []
@@ -182,13 +186,13 @@ class NativeBackend(Backend):
         # MPCI copies the staged ranges into the pipe buffer
         yield from self.cpu.memcpy("user", head + tail)
         meta = {"t": "rdata", "sid": ps.uhdr["sid"], "size": size,
-                "bfree": ps.uhdr["bfree"]}
+                "bfree": ps.uhdr["bfree"], "mid": ps.uhdr.get("mid")}
         out_ev = self.env.event()
         fid = next(self._fids)
         yield from self.pipes.send_frame(
             "user", ps.dst_task, meta, ps.data,
             buffered_prefix=head, buffered_suffix=tail,
-            on_payload_out=out_ev, fid=fid,
+            on_payload_out=out_ev, fid=fid, mid=meta.get("mid"),
         )
         req = ps.req
         if not req.done:
@@ -221,7 +225,8 @@ class NativeBackend(Backend):
             msg.matched = True
             self.bound_recvs[(msg.src_task, msg.sid)] = (req, msg.envelope)
             self._txq.put(("frame", msg.src_task,
-                           {"t": "cts", "sid": msg.sid}, b"", 0, 0, None))
+                           {"t": "cts", "sid": msg.sid, "mid": msg.mid},
+                           b"", 0, 0, None))
         elif msg.assembled:
             yield from self._copy_ea_to_user(thread, msg, req)
         else:
@@ -263,13 +268,14 @@ class NativeBackend(Backend):
             msg = InMsg(
                 Envelope(meta["ctx"], meta["srank"], meta["tag"]),
                 src, meta["mseq"], meta["size"], t, meta["mode"],
-                meta["sid"], meta["bfree"],
+                meta["sid"], meta["bfree"], mid=meta.get("mid"),
             )
             if t == "rts":
                 yield from self._match(thread, msg)
                 if msg.req is not None and msg.matched:
                     self.bound_recvs[(src, msg.sid)] = (msg.req, msg.envelope)
-                    self._txq.put(("frame", src, {"t": "cts", "sid": msg.sid},
+                    self._txq.put(("frame", src,
+                                   {"t": "cts", "sid": msg.sid, "mid": msg.mid},
                                    b"", 0, 0, None))
                 return
             yield from self._match(thread, msg)
@@ -290,7 +296,7 @@ class NativeBackend(Backend):
                 raise MpiFatal(f"rendezvous data for unknown receive (sid {meta['sid']})")
             req, envelope = bound
             msg = InMsg(envelope, src, -1, meta["size"], "rdata", "standard",
-                        meta["sid"], meta["bfree"])
+                        meta["sid"], meta["bfree"], mid=meta.get("mid"))
             msg.req = req
             msg.matched = True
             frame = _Frame(msg, req.ctx)
@@ -309,7 +315,7 @@ class NativeBackend(Backend):
         yield from self.cpu.execute(thread, self.match_cost(inspected) + p.mpi_lock_us)
         if handle is not None:
             self.stats.trace("mpci", "matched_posted", proto=msg.proto,
-                             tag=msg.envelope.tag, mseq=msg.mseq)
+                             tag=msg.envelope.tag, mseq=msg.mseq, mid=msg.mid)
             req: Request = handle
             self._check_fits(msg, req.ctx)
             msg.req = req
@@ -321,7 +327,7 @@ class NativeBackend(Backend):
             )
         else:
             self.stats.trace("mpci", "early_arrival", proto=msg.proto,
-                             tag=msg.envelope.tag, mseq=msg.mseq)
+                             tag=msg.envelope.tag, mseq=msg.mseq, mid=msg.mid)
             self.early.add(msg.envelope, msg)
             self._track_unexpected()
 
@@ -349,7 +355,8 @@ class NativeBackend(Backend):
         """Native completion happens right in the dispatcher — the native
         stack has no separate completion thread (its Fig 13 problem is
         hysteresis, not context switches)."""
-        self.stats.trace("mpci", "msg_complete", sid=msg.sid, bytes=msg.size)
+        self.stats.trace("mpci", "msg_complete", sid=msg.sid, bytes=msg.size,
+                         mid=msg.mid)
         msg.assembled = True
         req = msg.req
         if req is not None:
@@ -366,4 +373,5 @@ class NativeBackend(Backend):
                 req.set_finalizer(finalize)
         if msg.want_bfree:
             self._txq.put(("frame", msg.src_task,
-                           {"t": "bfree", "sid": msg.sid}, b"", 0, 0, None))
+                           {"t": "bfree", "sid": msg.sid, "mid": msg.mid},
+                           b"", 0, 0, None))

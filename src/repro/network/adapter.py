@@ -117,7 +117,7 @@ class Adapter:
                 "adapter", "pkt_tx", dst=packet.dst, route=packet.route,
                 kind=packet.header.get("kind"), seq=packet.header.get("seq"),
                 bytes=packet.wire_bytes, msg=packet.header.get("msg"),
-                fid=packet.header.get("fid"),
+                fid=packet.header.get("fid"), mid=packet.header.get("mid"),
             )
             self.fabric.transmit(packet)
 
@@ -136,7 +136,8 @@ class Adapter:
                 # layers above recover via retransmission.
                 self.stats.packets_dropped += 1
                 self.stats.trace("adapter", "fifo_drop", src=packet.src,
-                                 seq=packet.header.get("seq"))
+                                 seq=packet.header.get("seq"),
+                                 mid=packet.header.get("mid"))
                 continue
             self._host_rx.append(packet)
             self._g_rx_depth.set(len(self._host_rx))
@@ -145,6 +146,7 @@ class Adapter:
                 "adapter", "pkt_rx", src=packet.src,
                 kind=packet.header.get("kind"), seq=packet.header.get("seq"),
                 msg=packet.header.get("msg"), fid=packet.header.get("fid"),
+                mid=packet.header.get("mid"),
             )
             self._notify_rx()
 

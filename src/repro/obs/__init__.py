@@ -1,4 +1,4 @@
-"""Observability: unified metrics registry and latency breakdowns."""
+"""Observability: metrics registry, latency breakdowns, message spans."""
 
 from repro.obs.breakdown import (
     PHASES,
@@ -8,17 +8,25 @@ from repro.obs.breakdown import (
     pipes_breakdowns,
     summarize,
 )
+from repro.obs.chrometrace import to_chrome_trace, write_chrome_trace
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import MessageTree, Span, build_span_trees, render_text
 
 __all__ = [
     "Breakdown",
     "Counter",
     "Gauge",
     "Histogram",
+    "MessageTree",
     "MetricsRegistry",
     "PHASES",
+    "Span",
     "TruncatedTraceError",
+    "build_span_trees",
     "lapi_breakdowns",
     "pipes_breakdowns",
+    "render_text",
     "summarize",
+    "to_chrome_trace",
+    "write_chrome_trace",
 ]

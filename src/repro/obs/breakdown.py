@@ -7,13 +7,16 @@ context switch that runs the completion handler.  This module rebuilds
 that decomposition from a :class:`~repro.trace.Tracer` capture, one
 :class:`Breakdown` per delivered message.
 
-The six phases partition the end-to-end interval exactly (telescoping
+The seven phases partition the end-to-end interval exactly (telescoping
 timestamps), so ``sum(b.phases.values()) == b.end_to_end`` up to float
 rounding:
 
 ===============  ====================================================
 ``send_overhead``  send call until the first packet leaves the wire
 ``wire``           first packet's link + fabric traversal
+``interrupt``      receive-side interrupt-hysteresis dwell (the native
+                   stack's Fig 13 penalty; identically zero in polling
+                   mode and on LAPI, whose ISR has no hysteresis)
 ``hdr_handler``    arrival in the host FIFO until the header handler
 ``copy``           header handler until the message is assembled
 ``thread_switch``  hand-off to the completion-handler thread (base
@@ -47,6 +50,7 @@ __all__ = [
 PHASES = (
     "send_overhead",
     "wire",
+    "interrupt",
     "hdr_handler",
     "copy",
     "thread_switch",
@@ -66,10 +70,14 @@ def _check_dropped(tracer: Tracer, allow_truncated: bool) -> None:
     if tracer.dropped == 0:
         return
     if not allow_truncated:
+        dominant = ""
+        if tracer.dropped_by_layer:
+            layer, n = tracer.dropped_by_layer.most_common(1)[0]
+            dominant = f"; layer {layer!r} dominated the loss ({n}/{tracer.dropped})"
         raise TruncatedTraceError(
             f"tracer dropped {tracer.dropped} record(s) (capacity "
-            f"{tracer.capacity}); breakdowns would be incomplete — raise the "
-            "capacity or pass allow_truncated=True"
+            f"{tracer.capacity}){dominant}; breakdowns would be incomplete — "
+            "raise the capacity or pass allow_truncated=True"
         )
     if not _warned_truncated:
         _warned_truncated = True
@@ -92,10 +100,34 @@ class Breakdown:
     start: float
     end: float
     phases: dict[str, float]
+    #: cluster-unique MPI message id, when the message carried one
+    #: (control traffic below MPI has none) — joins against span trees
+    mid: Optional[str] = None
 
     @property
     def end_to_end(self) -> float:
         return self.end - self.start
+
+
+def _dwells_by_node(tracer: Tracer) -> dict[int, list[TraceRecord]]:
+    """Interrupt-hysteresis dwell records (native ISR), grouped by node."""
+    out: dict[int, list[TraceRecord]] = {}
+    for r in tracer.filter(layer="cpu", event="hysteresis_dwell"):
+        out.setdefault(r.node, []).append(r)
+    return out
+
+
+def _dwell_overlap(
+    dwells: dict[int, list[TraceRecord]], node: int, t0: float, t1: float
+) -> float:
+    """CPU time the node spent in hysteresis dwells inside [t0, t1]."""
+    total = 0.0
+    for r in dwells.get(node, ()):
+        lo = max(r.time, t0)
+        hi = min(r.time + r.fields.get("us", 0.0), t1)
+        if hi > lo:
+            total += hi - lo
+    return total
 
 
 def _first_by_key(
@@ -132,6 +164,7 @@ def lapi_breakdowns(
     switches: dict[int, list[TraceRecord]] = {}
     for r in tracer.filter(layer="cpu", event="ctx_switch", to="cmpl"):
         switches.setdefault(r.node, []).append(r)
+    dwells = _dwells_by_node(tracer)
 
     out: list[Breakdown] = []
     for send in tracer.filter(layer="lapi", event="amsend"):
@@ -152,6 +185,11 @@ def lapi_breakdowns(
             if t_asm.time <= r.time <= t_done.time:
                 switch_us = min(r.fields["cost_us"], t_done.time - t_asm.time)
                 break
+        # LAPI's own ISR has no hysteresis, but a LAPI message can still
+        # be delayed by a dwell when both stacks share the node (rare) —
+        # carve the dwell out of the dispatch-delay window
+        hdr_us = t_hdr.time - t_rx.time
+        intr_us = min(_dwell_overlap(dwells, dst, t_rx.time, t_hdr.time), hdr_us)
         out.append(
             Breakdown(
                 src=send.node,
@@ -163,11 +201,13 @@ def lapi_breakdowns(
                 phases={
                     "send_overhead": t_tx.time - send.time,
                     "wire": t_rx.time - t_tx.time,
-                    "hdr_handler": t_hdr.time - t_rx.time,
+                    "interrupt": intr_us,
+                    "hdr_handler": hdr_us - intr_us,
                     "copy": t_asm.time - t_hdr.time,
                     "thread_switch": switch_us,
                     "completion": t_done.time - t_asm.time - switch_us,
                 },
+                mid=send.fields.get("mid"),
             )
         )
     return out
@@ -186,6 +226,7 @@ def pipes_breakdowns(
     pkt_tx = _first_by_key(tracer.filter(layer="adapter", event="pkt_tx"), "fid")
     pkt_rx = _first_by_key(tracer.filter(layer="adapter", event="pkt_rx"), "fid")
     complete = _first_by_key(tracer.filter(layer="mpci", event="msg_complete"), "sid")
+    dwells = _dwells_by_node(tracer)
 
     out: list[Breakdown] = []
     for send in tracer.filter(layer="pipes", event="frame_send"):
@@ -199,6 +240,11 @@ def pipes_breakdowns(
         t_done = complete.get((dst, sid))
         if None in (t_tx, t_rx, t_done):
             continue
+        # In interrupt mode the receive-side delivery window includes the
+        # ISR's hysteresis dwells (Fig 13); report them as their own
+        # phase instead of folding them into ``copy``.
+        copy_us = t_done.time - t_rx.time
+        intr_us = min(_dwell_overlap(dwells, dst, t_rx.time, t_done.time), copy_us)
         out.append(
             Breakdown(
                 src=send.node,
@@ -210,11 +256,13 @@ def pipes_breakdowns(
                 phases={
                     "send_overhead": t_tx.time - send.time,
                     "wire": t_rx.time - t_tx.time,
+                    "interrupt": intr_us,
                     "hdr_handler": 0.0,
-                    "copy": t_done.time - t_rx.time,
+                    "copy": copy_us - intr_us,
                     "thread_switch": 0.0,
                     "completion": 0.0,
                 },
+                mid=send.fields.get("mid"),
             )
         )
     return out

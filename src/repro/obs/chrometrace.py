@@ -1,0 +1,122 @@
+"""Perfetto/Chrome ``trace_event`` export of message span trees.
+
+Converts the output of :func:`repro.obs.spans.build_span_trees` into the
+Trace Event JSON format understood by ``ui.perfetto.dev`` and
+``chrome://tracing``:
+
+* one *process* per simulated node (pid ``node+1``) plus pid 0 for the
+  switch fabric, named via ``M`` metadata events;
+* one *thread* row per logical actor (user task, dispatcher,
+  completion-handler thread) per node;
+* ``X`` complete events for duration spans, ``i`` instants for
+  zero-duration marks, and ``s``/``f`` flow events stitching each leg's
+  origin to its target so the cross-node causality renders as arrows.
+
+Timestamps are emitted in microseconds (the simulation's native unit).
+The writer is deterministic — same trees, byte-identical file — so
+trace files can be diffed and checked into baselines.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.spans import MessageTree, Span
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+#: fabric pseudo-process and the per-node actor row layout
+_FABRIC_PID = 0
+_TID = {"user": 1, "dispatcher": 2, "cmpl": 3, "wire": 1}
+_TRACK_LABEL = {
+    "user": "user task",
+    "dispatcher": "dispatcher",
+    "cmpl": "completion thread",
+    "wire": "wire",
+}
+
+
+def _pid(span: Span) -> int:
+    if span.track == "wire" or span.node is None:
+        return _FABRIC_PID
+    return span.node + 1
+
+
+def _jsonable(args: dict[str, Any]) -> dict[str, Any]:
+    return {k: v for k, v in args.items()
+            if isinstance(v, (str, int, float, bool)) and v is not None}
+
+
+def to_chrome_trace(trees: dict[str, MessageTree]) -> dict[str, Any]:
+    """Build the ``{"traceEvents": [...]}`` object for the given trees."""
+    events: list[dict[str, Any]] = []
+    pids: set[int] = set()
+    rows: set[tuple[int, int, str]] = set()
+    flow_id = 0
+
+    for mid, tree in trees.items():
+        for leg in tree.legs:
+            cat = f"leg:{leg.name}"
+            for span, _depth in leg.walk():
+                pid = _pid(span)
+                tid = _TID.get(span.track, 1)
+                pids.add(pid)
+                if pid != _FABRIC_PID:
+                    rows.add((pid, tid, _TRACK_LABEL.get(span.track, span.track)))
+                ev: dict[str, Any] = {
+                    "name": span.name,
+                    "cat": cat,
+                    "ts": span.start,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": _jsonable(dict(span.args, mid=mid)),
+                }
+                if span.is_instant:
+                    ev.update(ph="i", s="t")
+                else:
+                    ev.update(ph="X", dur=span.duration)
+                events.append(ev)
+            # flow arrow: origin send → target delivery of this leg
+            leaves = leg.leaves()
+            sends = [s for s in leaves if s.name == "send_overhead"]
+            lands = [s for s in leaves
+                     if s.name in ("hdr_handler", "copy") and not s.is_instant]
+            if sends and lands:
+                flow_id += 1
+                fid = f"{mid}/{flow_id}"
+                events.append({
+                    "name": leg.name, "cat": "flow", "ph": "s", "id": fid,
+                    "ts": sends[0].end, "pid": _pid(sends[0]),
+                    "tid": _TID.get(sends[0].track, 1),
+                })
+                events.append({
+                    "name": leg.name, "cat": "flow", "ph": "f", "bp": "e",
+                    "id": fid, "ts": lands[0].start, "pid": _pid(lands[0]),
+                    "tid": _TID.get(lands[0].track, 1),
+                })
+
+    meta: list[dict[str, Any]] = []
+    for pid in sorted(pids):
+        name = "fabric" if pid == _FABRIC_PID else f"node {pid - 1}"
+        meta.append({"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                     "args": {"name": name}})
+        meta.append({"name": "process_sort_index", "ph": "M", "pid": pid,
+                     "tid": 0, "args": {"sort_index": pid}})
+    for pid, tid, label in sorted(rows):
+        meta.append({"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                     "args": {"name": label}})
+    if _FABRIC_PID in pids:
+        meta.append({"name": "thread_name", "ph": "M", "pid": _FABRIC_PID,
+                     "tid": _TID["wire"], "args": {"name": "wire"}})
+
+    events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"], e["ph"], e["name"]))
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trees: dict[str, MessageTree], path) -> None:
+    """Write the trees to ``path`` as deterministic trace-event JSON."""
+    obj = to_chrome_trace(trees)
+    with open(path, "w") as fh:
+        json.dump(obj, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")

@@ -1,0 +1,457 @@
+"""Causal, cross-node span trees for individual MPI messages.
+
+The trace layer (``repro.trace``) captures flat per-node event records;
+the breakdown layer (``repro.obs.breakdown``) averages them into the
+paper's Fig 10 phases.  This module reconstructs the *causal story of a
+single message*: every MPI send mints a cluster-unique message id
+(``<task>:<sid>``, see ``Backend.mint_mid``) that rides every packet
+header and trace record the message generates — on the origin, the
+wire, and the target.  From one :class:`~repro.trace.Tracer` capture,
+:func:`build_span_trees` groups records by that id and rebuilds, per
+message, a tree of :class:`Span` s:
+
+* the **root** spans the whole MPI-level exchange (eager data, or the
+  rendezvous rts → rts_ack/cts → rdata → bfree conversation);
+* one **leg** per LAPI active message / native MPCI frame;
+* **leaf** spans under each leg mirror the Fig 10 phase partition
+  exactly (``send_overhead``/``wire``/``interrupt``/``hdr_handler``/
+  ``copy``/``thread_switch``/``completion``), so the sum of a tree's
+  leaf durations equals the breakdown end-to-end total for the same
+  message — the two views are provably consistent;
+* zero-duration **instants** pin auxiliary records (matching outcomes,
+  per-packet tx/rx beyond the first, completion hand-offs) onto the
+  leg whose interval contains them.
+
+Each span carries a logical *actor track* (``user``, ``dispatcher``,
+``cmpl``, or ``wire``) so exporters can lay one timeline row per actor
+per node — see ``repro.obs.chrometrace`` for the Perfetto/Chrome
+exporter and :func:`render_text` for a plain-text timeline.
+
+Every record carrying the message id is consumed: records that fit no
+leg structurally are attached to the root and reported in
+``MessageTree.orphans`` so tests can assert complete coverage.
+Reconstruction is pure and deterministic — the same capture always
+yields byte-identical renderings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.obs.breakdown import _check_dropped, _dwell_overlap, _dwells_by_node
+from repro.trace import TraceRecord, Tracer
+
+__all__ = ["MessageTree", "Span", "build_span_trees", "render_text"]
+
+#: logical actor tracks a span can live on
+TRACKS = ("user", "dispatcher", "cmpl", "wire")
+
+#: leg kinds that move message payload (vs pure control traffic)
+_DATA_LEGS = ("eager", "rdata")
+
+
+class Span:
+    """One node (interval or instant) of a message's causal tree."""
+
+    __slots__ = ("name", "node", "track", "start", "end", "children", "args")
+
+    def __init__(self, name: str, node: Optional[int], track: str,
+                 start: float, end: float,
+                 args: Optional[dict[str, Any]] = None):
+        self.name = name
+        self.node = node  # None for fabric/wire spans
+        self.track = track
+        self.start = start
+        self.end = end
+        self.children: list["Span"] = []
+        self.args = args or {}
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def is_instant(self) -> bool:
+        return self.end == self.start
+
+    def add(self, child: "Span") -> "Span":
+        self.children.append(child)
+        return child
+
+    def leaves(self) -> list["Span"]:
+        """Descendants with no children, depth-first."""
+        if not self.children:
+            return [self]
+        out: list[Span] = []
+        for c in self.children:
+            out.extend(c.leaves())
+        return out
+
+    def walk(self, depth: int = 0):
+        yield self, depth
+        for c in self.children:
+            yield from c.walk(depth + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Span({self.name!r}, n{self.node}, {self.track}, "
+                f"{self.start:.2f}..{self.end:.2f}, "
+                f"{len(self.children)} children)")
+
+
+class MessageTree:
+    """The reconstructed span tree for one message id."""
+
+    __slots__ = ("mid", "root", "legs", "records", "orphans")
+
+    def __init__(self, mid: str, root: Span):
+        self.mid = mid
+        self.root = root
+        #: top-level leg spans in chronological order
+        self.legs: list[Span] = []
+        #: every trace record carrying this mid, in capture order
+        self.records: list[TraceRecord] = []
+        #: records that fit no leg structurally (attached to the root)
+        self.orphans: list[TraceRecord] = []
+
+    @property
+    def leaf_total(self) -> float:
+        """Sum of leaf span durations (== breakdown end-to-end total)."""
+        return sum(s.duration for s in self.root.leaves())
+
+    @property
+    def complete(self) -> bool:
+        return not any(leg.args.get("partial") for leg in self.legs)
+
+
+# ---------------------------------------------------------------- helpers
+def _actor_of(thread: Optional[str]) -> str:
+    """Map a CPU thread name onto the logical actor track."""
+    if thread is None:
+        return "dispatcher"
+    if thread == "cmpl":
+        return "cmpl"
+    if thread.startswith("irq"):
+        return "dispatcher"
+    return "user"
+
+
+def _take(pool: list[TraceRecord], used: dict[int, bool], node: Optional[int],
+          events: Optional[tuple[str, ...]], **field_eq: Any) -> list[TraceRecord]:
+    """Claim every unused record matching node, event set + field equality.
+
+    The event filter matters: per-node counters (LAPI msg numbers, pipe
+    frame ids) can coincide across directions of the same message, so a
+    leg may only claim the events that belong to its side of the wire.
+    """
+    out = []
+    for r in pool:
+        if used[id(r)]:
+            continue
+        if node is not None and r.node != node:
+            continue
+        if events is not None and r.event not in events:
+            continue
+        if any(r.fields.get(k) != v for k, v in field_eq.items()):
+            continue
+        used[id(r)] = True
+        out.append(r)
+    return out
+
+
+def _instant(leg: Span, r: TraceRecord, track: Optional[str] = None) -> None:
+    leg.add(Span(r.event, r.node, track or _actor_of(r.fields.get("thr")),
+                 r.time, r.time, args=dict(r.fields)))
+
+
+def _phase_leaves(
+    leg: Span,
+    *,
+    src: int,
+    dst: int,
+    t_send: float,
+    send_thr: Optional[str],
+    t_tx: Optional[float],
+    t_rx: Optional[float],
+    t_hdr: Optional[float],
+    t_asm: Optional[float],
+    t_done: Optional[float],
+    switch_us: float,
+    intr_us: float,
+    cmpl_track: str,
+) -> None:
+    """Emit the telescoping Fig 10 phase leaves under ``leg``.
+
+    ``None`` timestamps truncate the chain (partial legs of in-flight
+    messages); emitted leaves always telescope so their durations sum to
+    the covered interval exactly.
+    """
+    leg.add(Span("send_overhead", src, _actor_of(send_thr), t_send,
+                 t_tx if t_tx is not None else t_send))
+    if t_tx is None:
+        return
+    leg.add(Span("wire", None, "wire", t_tx, t_rx if t_rx is not None else t_tx))
+    if t_rx is None:
+        return
+    if t_hdr is not None:
+        leg.add(Span("interrupt", dst, "dispatcher", t_rx, t_rx + intr_us))
+        leg.add(Span("hdr_handler", dst, "dispatcher", t_rx + intr_us, t_hdr))
+        if t_asm is None:
+            return
+        leg.add(Span("copy", dst, "dispatcher", t_hdr, t_asm))
+    else:
+        # native frames have no header-handler mark: the whole
+        # delivery window is interrupt dwell + per-packet copies
+        if t_asm is None:
+            return
+        leg.add(Span("interrupt", dst, "dispatcher", t_rx, t_rx + intr_us))
+        leg.add(Span("copy", dst, "dispatcher", t_rx + intr_us, t_asm))
+    if t_done is None or t_done == t_asm:
+        return
+    leg.add(Span("thread_switch", dst, cmpl_track, t_asm, t_asm + switch_us))
+    leg.add(Span("completion", dst, cmpl_track, t_asm + switch_us, t_done))
+
+
+def _first(records: list[TraceRecord]) -> Optional[TraceRecord]:
+    return records[0] if records else None
+
+
+# ----------------------------------------------------------- leg builders
+def _build_lapi_leg(
+    send: TraceRecord,
+    recs: list[TraceRecord],
+    used: dict[int, bool],
+    switches: dict[int, list[TraceRecord]],
+    dwells: dict[int, list[TraceRecord]],
+) -> Span:
+    """One leg per LAPI active message (keyed by origin msg number)."""
+    src, msg = send.node, send.fields["msg"]
+    dst = send.fields["tgt"]
+    name = send.fields.get("hh", "lapi")
+    if name.startswith("mpi_"):
+        name = name[len("mpi_"):]
+
+    pkt_tx = _take(recs, used, src, ("pkt_tx",), msg=msg)
+    rx_events = ("pkt_rx", "hdr_handler", "msg_complete", "cmpl_done",
+                 "cmpl_inline", "cmpl_queued_to_thread", "cmpl_thread_run")
+    dst_recs = _take(recs, used, dst, rx_events, msg=msg)
+    pkt_rx = [r for r in dst_recs if r.event == "pkt_rx"]
+    hdr = _first([r for r in dst_recs if r.event == "hdr_handler"])
+    asm = _first([r for r in dst_recs if r.event == "msg_complete"])
+    done = _first([r for r in dst_recs if r.event == "cmpl_done"])
+    queued = _first([r for r in dst_recs if r.event == "cmpl_queued_to_thread"])
+    rest = [r for r in dst_recs
+            if r.event not in ("pkt_rx", "hdr_handler", "msg_complete",
+                               "cmpl_done", "cmpl_queued_to_thread")]
+
+    t_tx = pkt_tx[0].time if pkt_tx else None
+    t_rx = pkt_rx[0].time if pkt_rx else None
+    t_hdr = hdr.time if hdr else None
+    t_asm = asm.time if asm else None
+    t_done = done.time if done else None
+
+    switch_us = 0.0
+    if t_asm is not None and t_done is not None:
+        for r in switches.get(dst, ()):
+            if t_asm <= r.time <= t_done:
+                switch_us = min(r.fields["cost_us"], t_done - t_asm)
+                break
+    intr_us = 0.0
+    if t_rx is not None and t_hdr is not None:
+        intr_us = min(_dwell_overlap(dwells, dst, t_rx, t_hdr), t_hdr - t_rx)
+
+    end = t_done if t_done is not None else max(
+        [send.time] + [t for t in (t_tx, t_rx, t_hdr, t_asm) if t is not None]
+    )
+    leg = Span(name, src, _actor_of(send.fields.get("thr")), send.time, end,
+               args={"mid": send.fields.get("mid"), "msg": msg, "src": src,
+                     "dst": dst, "bytes": send.fields.get("bytes", 0),
+                     "kind": "lapi"})
+    if t_done is None:
+        leg.args["partial"] = True
+    _phase_leaves(
+        leg, src=src, dst=dst, t_send=send.time,
+        send_thr=send.fields.get("thr"),
+        t_tx=t_tx, t_rx=t_rx, t_hdr=t_hdr, t_asm=t_asm, t_done=t_done,
+        switch_us=switch_us, intr_us=intr_us,
+        cmpl_track="cmpl" if queued is not None else "dispatcher",
+    )
+    # per-packet instants beyond the first, and completion hand-off marks
+    for r in pkt_tx[1:]:
+        _instant(leg, r, "user")
+    for r in pkt_rx[1:]:
+        _instant(leg, r, "dispatcher")
+    if queued is not None:
+        _instant(leg, queued)
+    for r in rest:
+        _instant(leg, r)
+    return leg
+
+
+def _build_pipes_leg(
+    send: TraceRecord,
+    recs: list[TraceRecord],
+    used: dict[int, bool],
+    dwells: dict[int, list[TraceRecord]],
+) -> Span:
+    """One leg per native MPCI frame (keyed by frame id)."""
+    src, fid = send.node, send.fields["fid"]
+    dst = send.fields["dst"]
+    name = send.fields.get("t", "frame")
+
+    pkt_tx = _take(recs, used, src, ("pkt_tx",), fid=fid)
+    pkt_rx = _take(recs, used, dst, ("pkt_rx",), fid=fid)
+
+    t_tx = pkt_tx[0].time if pkt_tx else None
+    t_rx = pkt_rx[0].time if pkt_rx else None
+    t_asm = None
+    if name in _DATA_LEGS:
+        sid = send.fields.get("sid")
+        asm = _first(
+            _take(recs, used, dst, ("msg_complete",), sid=sid)
+            if sid is not None else []
+        )
+        t_asm = asm.time if asm else None
+
+    intr_us = 0.0
+    if t_rx is not None and t_asm is not None:
+        intr_us = min(_dwell_overlap(dwells, dst, t_rx, t_asm), t_asm - t_rx)
+
+    end = max([send.time]
+              + [t for t in (t_tx, t_rx, t_asm) if t is not None])
+    leg = Span(name, src, _actor_of(send.fields.get("thr")), send.time, end,
+               args={"mid": send.fields.get("mid"), "fid": fid, "src": src,
+                     "dst": dst, "bytes": send.fields.get("bytes", 0),
+                     "kind": "pipes"})
+    if name in _DATA_LEGS and t_asm is None:
+        leg.args["partial"] = True
+    elif name not in _DATA_LEGS and t_rx is None:
+        leg.args["partial"] = True
+    _phase_leaves(
+        leg, src=src, dst=dst, t_send=send.time,
+        send_thr=send.fields.get("thr"),
+        t_tx=t_tx, t_rx=t_rx, t_hdr=None, t_asm=t_asm, t_done=t_asm,
+        switch_us=0.0, intr_us=intr_us, cmpl_track="dispatcher",
+    )
+    for r in pkt_tx[1:]:
+        _instant(leg, r, "user")
+    for r in pkt_rx[1:]:
+        _instant(leg, r, "dispatcher")
+    return leg
+
+
+# ------------------------------------------------------------ tree build
+def _build_tree(
+    mid: str,
+    recs: list[TraceRecord],
+    switches: dict[int, list[TraceRecord]],
+    dwells: dict[int, list[TraceRecord]],
+) -> MessageTree:
+    used: dict[int, bool] = {id(r): False for r in recs}
+
+    legs: list[Span] = []
+    for r in recs:
+        if r.layer == "lapi" and r.event == "amsend":
+            used[id(r)] = True
+            legs.append(_build_lapi_leg(r, recs, used, switches, dwells))
+        elif r.layer == "pipes" and r.event == "frame_send":
+            used[id(r)] = True
+            legs.append(_build_pipes_leg(r, recs, used, dwells))
+    legs.sort(key=lambda s: (s.start, s.args.get("msg", s.args.get("fid", 0))))
+
+    start = min([s.start for s in legs] + [r.time for r in recs]) if recs else 0.0
+    end = max([s.end for s in legs] + [r.time for r in recs]) if recs else 0.0
+    root = Span(f"msg {mid}", legs[0].node if legs else None, "user",
+                start, end, args={"mid": mid})
+    tree = MessageTree(mid, root)
+    tree.records = list(recs)
+    tree.legs = legs
+    for leg in legs:
+        root.add(leg)
+
+    # attach leftover records to the leg whose interval contains them;
+    # true orphans hang off the root and are reported
+    for r in recs:
+        if used[id(r)]:
+            continue
+        home = None
+        for leg in legs:
+            nodes = (leg.args.get("src"), leg.args.get("dst"))
+            if r.node in nodes and leg.start <= r.time <= leg.end:
+                home = leg
+                break
+        used[id(r)] = True
+        if home is not None:
+            _instant(home, r)
+        else:
+            _instant(root, r)
+            tree.orphans.append(r)
+    return tree
+
+
+def build_span_trees(
+    tracer: Tracer, allow_truncated: bool = False
+) -> dict[str, MessageTree]:
+    """Reconstruct one :class:`MessageTree` per message id in the capture.
+
+    Deterministic: trees are keyed and ordered by message id.  Raises
+    :class:`~repro.obs.breakdown.TruncatedTraceError` when the tracer
+    dropped records (unless ``allow_truncated``), since a truncated
+    capture cannot promise complete trees.
+    """
+    _check_dropped(tracer, allow_truncated)
+    by_mid: dict[str, list[TraceRecord]] = {}
+    for r in tracer.records:
+        mid = r.fields.get("mid")
+        if mid is not None:
+            by_mid.setdefault(mid, []).append(r)
+    switches: dict[int, list[TraceRecord]] = {}
+    for r in tracer.filter(layer="cpu", event="ctx_switch", to="cmpl"):
+        switches.setdefault(r.node, []).append(r)
+    dwells = _dwells_by_node(tracer)
+
+    def _mid_key(m: str):
+        task, _, sid = m.partition(":")
+        try:
+            return (int(task), int(sid))
+        except ValueError:  # foreign mid formats sort lexically at the end
+            return (1 << 30, m)
+
+    return {
+        mid: _build_tree(mid, by_mid[mid], switches, dwells)
+        for mid in sorted(by_mid, key=_mid_key)
+    }
+
+
+# ---------------------------------------------------------------- render
+def render_text(trees: dict[str, MessageTree]) -> str:
+    """Plain-text timeline/flamegraph dump of the reconstructed trees.
+
+    Deterministic: the same capture always renders byte-identically.
+    """
+    lines: list[str] = []
+    for mid, tree in trees.items():
+        root = tree.root
+        lines.append(
+            f"msg {mid}  [{root.start:10.2f} .. {root.end:10.2f}us]  "
+            f"span={root.duration:.2f}us  legs={len(tree.legs)}"
+            + ("" if tree.complete else "  (partial)")
+        )
+        for span, depth in root.walk():
+            if span is root:
+                continue
+            pad = "  " * depth
+            where = f"n{span.node}" if span.node is not None else "--"
+            if span.is_instant:
+                lines.append(
+                    f"{pad}· {span.name} @ {span.start:.2f}us "
+                    f"[{where}/{span.track}]"
+                )
+            else:
+                lines.append(
+                    f"{pad}{span.name:<14s} [{where}/{span.track:<10s}] "
+                    f"{span.start:10.2f} .. {span.end:10.2f}  "
+                    f"({span.duration:.2f}us)"
+                )
+        if tree.orphans:
+            lines.append(f"  ! {len(tree.orphans)} orphan record(s)")
+    return "\n".join(lines) + "\n"

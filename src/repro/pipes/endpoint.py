@@ -100,6 +100,7 @@ class PipeEndpoint:
         buffered_suffix: int = 0,
         on_payload_out: Optional[Event] = None,
         fid: Optional[int] = None,
+        mid: Optional[str] = None,
     ) -> Generator:
         """Send one MPCI frame over the stream to ``dst``.
 
@@ -107,7 +108,9 @@ class PipeEndpoint:
         prefix/suffix are charged the pipe-buffer→HAL copy (the native
         stack's second send-side copy); bytes outside go direct (DMA from
         the user buffer).  ``on_payload_out`` fires when the last
-        packet's payload has left host memory.
+        packet's payload has left host memory.  ``mid`` is the MPCI
+        message id the frame belongs to; it rides every packet header
+        and trace record so cross-node captures correlate.
 
         Returns after the final packet is admitted to the adapter (the
         frame may still be in flight / unacknowledged).
@@ -118,7 +121,8 @@ class PipeEndpoint:
         size = len(data)
         self._m_frames.incr()
         self.stats.trace("pipes", "frame_send", fid=fid, dst=dst, bytes=size,
-                         sid=meta.get("sid"), t=meta.get("t"))
+                         sid=meta.get("sid"), t=meta.get("t"), mid=mid,
+                         thr=thread)
         chunks = fragment(size, self.params.packet_payload)
         last_idx = len(chunks) - 1
         for idx, (off, ln) in enumerate(chunks):
@@ -141,6 +145,7 @@ class PipeEndpoint:
                 "kind": _DATA,
                 "seq": None,  # assigned below
                 "fid": fid,
+                "mid": mid,
                 "foff": off,
                 "flen": size,
                 "buffered": buffered,

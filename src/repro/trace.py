@@ -42,13 +42,22 @@ class Tracer:
         self.capacity = capacity
         self.records: list[TraceRecord] = []
         self.dropped = 0
+        #: layer -> records dropped after the capacity was hit; tells a
+        #: truncated-capture post-mortem which layer dominated the loss
+        self.dropped_by_layer: Counter = Counter()
 
     def emit(self, node: int, layer: str, event: str, **fields: Any) -> None:
         if self.capacity is not None and len(self.records) >= self.capacity:
             self.dropped += 1
+            self.dropped_by_layer[layer] += 1
             return
+        # None-valued fields carry no information (optional correlation
+        # keys such as ``mid`` on non-MPI traffic); drop them at the source
         self.records.append(
-            TraceRecord(self._clock.now, node, layer, event, fields)
+            TraceRecord(
+                self._clock.now, node, layer, event,
+                {k: v for k, v in fields.items() if v is not None},
+            )
         )
 
     # ------------------------------------------------------------ queries
@@ -87,3 +96,4 @@ class Tracer:
     def clear(self) -> None:
         self.records.clear()
         self.dropped = 0
+        self.dropped_by_layer.clear()
