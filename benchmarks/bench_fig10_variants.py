@@ -51,7 +51,7 @@ def main(argv=None) -> int:
     import argparse
 
     from repro.bench.artifact import make_artifact, write_artifact
-    from repro.bench.harness import pingpong_breakdown
+    from repro.obs import breakdown as obs_breakdown
 
     parser = argparse.ArgumentParser(description=main.__doc__)
     parser.add_argument("--out", default=".", help="output directory")
@@ -61,7 +61,7 @@ def main(argv=None) -> int:
     data = fig10.rows(sizes=sizes)
     breakdown = {}
     for variant in ("lapi-base", "lapi-counters", "lapi-enhanced"):
-        summary, _ = pingpong_breakdown(variant, 256, reps=4)
+        summary, _ = obs_breakdown(variant, 256, reps=4)
         breakdown[variant] = summary
     doc = make_artifact(
         "fig10_variants",

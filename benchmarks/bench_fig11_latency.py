@@ -43,7 +43,8 @@ def main(argv=None) -> int:
     import argparse
 
     from repro.bench.artifact import make_artifact, write_artifact
-    from repro.bench.harness import pingpong_breakdown, pingpong_result
+    from repro.bench.harness import pingpong_result
+    from repro.obs import breakdown as obs_breakdown
 
     parser = argparse.ArgumentParser(description=main.__doc__)
     parser.add_argument("--out", default=".", help="output directory")
@@ -58,7 +59,7 @@ def main(argv=None) -> int:
     bd_size, bd_reps = 256, 4
     breakdown = {}
     for stack in ("native", "lapi-base", "lapi-counters", "lapi-enhanced"):
-        summary, _ = pingpong_breakdown(stack, bd_size, reps=bd_reps)
+        summary, _ = obs_breakdown(stack, bd_size, reps=bd_reps)
         breakdown[stack] = summary
     metrics = pingpong_result("lapi-enhanced", bd_size, reps=bd_reps).metrics
 

@@ -14,6 +14,7 @@ These mirror the paper's §5.1/§6.1 methodology:
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
@@ -91,66 +92,20 @@ def pingpong_capture(
     seed: int = 0,
     interrupt_mode: bool = False,
 ) -> SPCluster:
-    """Run a traced 2-node ping-pong and return the finished cluster.
+    """Deprecated alias for :func:`repro.obs.capture`.
 
-    The cluster's ``tracer`` holds the full capture — feed it to
-    :func:`repro.obs.lapi_breakdowns` / :func:`repro.obs.pipes_breakdowns`
-    for Fig 10 phases or :func:`repro.obs.build_span_trees` for
-    per-message causal trees.  With ``interrupt_mode`` the responder
-    pre-posts its receives and busy-checks the receive buffers' contents
-    without entering MPI (the paper's Fig 13 methodology), so delivery
-    progress is interrupt-driven and the hysteresis dwell shows up in
-    the capture.
+    ``interrupt_mode=True`` maps to ``mode="interrupt"``.
     """
-    if msg_size < 1:
-        raise ValueError("capture needs a positive message size")
-    if stack == "raw-lapi":
-        raise ValueError("pingpong_capture drives the MPI stacks")
-    cluster = SPCluster(2, stack=stack, params=_params(params), seed=seed,
-                        trace=True, interrupt_mode=interrupt_mode)
+    warnings.warn(
+        "pingpong_capture is deprecated; use repro.obs.capture(stack, size, "
+        "mode='interrupt'|'polling')",
+        DeprecationWarning, stacklevel=2,
+    )
+    from repro.obs import capture
 
-    if interrupt_mode:
-        def program(comm, rank, size):
-            if rank == 1:
-                bufs = [np.zeros(msg_size, dtype=np.uint8) for _ in range(reps)]
-                reqs = []
-                for i in range(reps):
-                    r = yield from comm.irecv(bufs[i], source=0)
-                    reqs.append(r)
-                yield from comm.barrier()
-                for i in range(reps):
-                    marker = (i % 255) + 1
-                    # spin on memory contents — NOT on MPI calls
-                    while bufs[i][-1] != marker:
-                        yield from comm.backend.cpu.execute(
-                            "user", comm.backend.params.poll_check_us
-                        )
-                    yield from comm.send(bytes([marker]) * msg_size, dest=0)
-                return None
-            buf = bytearray(msg_size)
-            yield from comm.barrier()
-            for i in range(reps):
-                marker = (i % 255) + 1
-                yield from comm.send(bytes([marker]) * msg_size, dest=1)
-                yield from comm.recv(buf, source=1)
-            return None
-    else:
-        payload = bytes(msg_size)
-
-        def program(comm, rank, size):
-            buf = bytearray(msg_size)
-            yield from comm.barrier()
-            for _ in range(reps):
-                if rank == 0:
-                    yield from comm.send(payload, dest=1)
-                    yield from comm.recv(buf, source=1)
-                else:
-                    yield from comm.recv(buf, source=0)
-                    yield from comm.send(payload, dest=0)
-            return None
-
-    cluster.run(program)
-    return cluster
+    return capture(stack, msg_size,
+                   mode="interrupt" if interrupt_mode else "polling",
+                   reps=reps, params=params, seed=seed)
 
 
 def pingpong_breakdown(
@@ -162,27 +117,21 @@ def pingpong_breakdown(
     allow_truncated: bool = False,
     interrupt_mode: bool = False,
 ):
-    """Per-phase latency decomposition of a ping-pong (paper Fig 10).
+    """Deprecated alias for :func:`repro.obs.breakdown`.
 
-    Runs a traced ping-pong and attributes each data message's
-    end-to-end time to the seven :data:`repro.obs.PHASES`.  Returns
-    ``(summary, breakdowns)`` where ``summary`` is the JSON-able output
-    of :func:`repro.obs.summarize` over the data messages only (control
-    traffic — barrier, rendezvous handshake — is excluded by size).
-    Most meaningful at eager sizes, where one message is one frame.
-    With ``interrupt_mode`` the capture uses the Fig 13 methodology and
-    the hysteresis dwell lands in the ``interrupt`` phase.
+    ``interrupt_mode=True`` maps to ``mode="interrupt"``.
     """
-    from repro.obs import lapi_breakdowns, pipes_breakdowns, summarize
+    warnings.warn(
+        "pingpong_breakdown is deprecated; use repro.obs.breakdown(stack, "
+        "size, mode='interrupt'|'polling')",
+        DeprecationWarning, stacklevel=2,
+    )
+    from repro.obs import breakdown
 
-    cluster = pingpong_capture(stack, msg_size, reps=reps, params=params,
-                               seed=seed, interrupt_mode=interrupt_mode)
-    if stack == "native":
-        downs = pipes_breakdowns(cluster.tracer, allow_truncated=allow_truncated)
-    else:
-        downs = lapi_breakdowns(cluster.tracer, allow_truncated=allow_truncated)
-    data = [b for b in downs if b.bytes == msg_size]
-    return summarize(data), data
+    return breakdown(stack, msg_size,
+                     mode="interrupt" if interrupt_mode else "polling",
+                     reps=reps, params=params, seed=seed,
+                     allow_truncated=allow_truncated)
 
 
 def interrupt_pingpong_us(
@@ -199,10 +148,11 @@ def interrupt_pingpong_us(
     buffers' contents without entering MPI, so the incoming data can only
     move via the interrupt path (paper Fig 13 methodology).
     """
+    from repro.cluster import preset
+
     size_eff = max(msg_size, 1)
-    cluster = SPCluster(
-        2, stack=stack, params=_params(params), seed=seed, interrupt_mode=True
-    )
+    cluster = preset("interrupt_mode", stack=stack, params=_params(params),
+                     seed=seed).build()
 
     def program(comm, rank, size):
         total = warmup + reps

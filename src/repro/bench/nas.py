@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.bench.figures import print_table
-from repro.cluster import SPCluster
+from repro.cluster import preset
 from repro.machine import MachineParams
 from repro.nas import run_kernel
 
@@ -26,7 +26,8 @@ FLAT = ("ep", "mg", "sp")
 
 def run_one(kernel: str, stack: str, nodes: int = 4,
             params: Optional[MachineParams] = None, seed: int = 0):
-    cluster = SPCluster(nodes, stack=stack, params=params, seed=seed)
+    cluster = preset("paper_4node", num_nodes=nodes, stack=stack,
+                     params=params, seed=seed).build()
     result = run_kernel(kernel, cluster)
     outcomes = result.values
     if not all(o.verified for o in outcomes):

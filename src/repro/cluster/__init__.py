@@ -1,5 +1,21 @@
 """Cluster assembly: build an N-node simulated SP with a chosen stack."""
 
-from repro.cluster.cluster import STACKS, RankResult, RunResult, SPCluster
+from repro.cluster.cluster import (
+    STACKS,
+    DeadlockError,
+    RankResult,
+    RunResult,
+    SPCluster,
+)
+from repro.cluster.config import PRESETS, ClusterConfig, preset
 
-__all__ = ["RankResult", "RunResult", "SPCluster", "STACKS"]
+__all__ = [
+    "ClusterConfig",
+    "DeadlockError",
+    "PRESETS",
+    "RankResult",
+    "RunResult",
+    "SPCluster",
+    "STACKS",
+    "preset",
+]

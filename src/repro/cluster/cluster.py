@@ -26,8 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-import numpy as np
-
+from repro.faults.plan import FaultPlan
+from repro.faults.points import FaultInjector
 from repro.hal import Hal
 from repro.lapi import Lapi
 from repro.machine import Cpu, MachineParams, NodeStats
@@ -37,6 +37,7 @@ from repro.mpi.backends import LapiBackend, NativeBackend
 from repro.network import Adapter, SwitchFabric
 from repro.obs import MetricsRegistry
 from repro.pipes import PipeEndpoint
+from repro.rngs import RngStreams
 from repro.sim import Environment, SimulationError
 
 __all__ = ["DeadlockError", "RankResult", "RunResult", "SPCluster", "STACKS"]
@@ -82,6 +83,7 @@ class SPCluster:
         seed: int = 0,
         interrupt_mode: bool = False,
         trace: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if num_nodes < 1:
             raise ValueError("need at least one node")
@@ -92,29 +94,45 @@ class SPCluster:
         self.params = params if params is not None else MachineParams()
         self.params.validate()
         self.interrupt_mode = interrupt_mode
+        self.seed = seed
+        #: named RNG substreams — the fabric and the fault injector draw
+        #: from independent streams, so enabling faults never perturbs a
+        #: fault-free trajectory with the same seed
+        self.streams = RngStreams(seed)
 
-        #: cluster-wide registry (sim kernel + fabric); per-node metrics
-        #: live in each node's ``NodeStats.registry``
+        #: cluster-wide registry (sim kernel + fabric + faults); per-node
+        #: metrics live in each node's ``NodeStats.registry``
         self.metrics = MetricsRegistry()
         self.env = Environment(metrics=self.metrics)
-        if self.params.fabric_model == "staged":
-            from repro.network.staged import StagedFabric
-
-            self.fabric = StagedFabric(
-                self.env, self.params, rng=np.random.default_rng(seed),
-                metrics=self.metrics,
-            )
-        else:
-            self.fabric = SwitchFabric(
-                self.env, self.params, rng=np.random.default_rng(seed),
-                metrics=self.metrics,
-            )
-        self.node_stats = [NodeStats() for _ in range(num_nodes)]
         self.tracer = None
         if trace:
             from repro.trace import Tracer
 
             self.tracer = Tracer(self.env)
+
+        self.fault_plan = fault_plan
+        self.fault_injector = FaultInjector(
+            plan=fault_plan,
+            rng=self.streams.faults,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            params=self.params,
+        )
+        fi = self.fault_injector
+
+        if self.params.fabric_model == "staged":
+            from repro.network.staged import StagedFabric
+
+            self.fabric = StagedFabric(
+                self.env, self.params, rng=self.streams.fabric,
+                metrics=self.metrics, faults=fi.point("fabric"),
+            )
+        else:
+            self.fabric = SwitchFabric(
+                self.env, self.params, rng=self.streams.fabric,
+                metrics=self.metrics, faults=fi.point("fabric"),
+            )
+        self.node_stats = [NodeStats() for _ in range(num_nodes)]
         for i, s in enumerate(self.node_stats):
             s.node_id = i
             if self.tracer is not None:
@@ -128,6 +146,10 @@ class SPCluster:
             Adapter(self.env, self.params, self.fabric, i, self.node_stats[i])
             for i in range(num_nodes)
         ]
+        for i in range(num_nodes):
+            self.cpus[i].faults = fi.point("cpu", node=i)
+            self.adapters[i].faults = fi.point("adapter", node=i)
+        fi.start_storms(self.env, self.cpus)
 
         header = (
             self.params.native_header_bytes
@@ -177,6 +199,13 @@ class SPCluster:
             for b in self.backends:
                 b.wire(peers)
 
+        for i in range(num_nodes):
+            point = fi.point("dispatcher", node=i)
+            if self.lapis[i] is not None:
+                self.lapis[i].faults = point
+            if self.pipes[i] is not None:
+                self.pipes[i].faults = point
+
         if interrupt_mode:
             if stack == "raw-lapi":
                 for lapi in self.lapis:
@@ -191,6 +220,12 @@ class SPCluster:
             self.comms = [
                 Communicator(self.backends[i], world, i) for i in range(num_nodes)
             ]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, config) -> "SPCluster":
+        """Build from a :class:`repro.cluster.ClusterConfig`."""
+        return config.build()
 
     # ------------------------------------------------------------------
     def metrics_snapshot(self) -> dict:

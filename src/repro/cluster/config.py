@@ -1,0 +1,95 @@
+"""Reusable cluster configurations.
+
+Benchmarks and fault campaigns kept re-spelling the same
+``MachineParams``/``SPCluster`` keyword soup.  :class:`ClusterConfig`
+captures one runnable configuration as data, and the named presets
+cover the recurring shapes:
+
+``paper_4node``
+    The paper's measurement setup: four nodes on the default
+    (TB3/332 MHz-class) machine parameters.
+``interrupt_mode``
+    Two nodes with interrupt-driven receive progress (Fig 13).
+``lossy``
+    Two nodes with a standing 5 % packet-loss floor, for exercising
+    the reliability layer without composing a fault plan.
+
+Every preset accepts keyword overrides::
+
+    cluster = preset("paper_4node", stack="native").build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional
+
+from repro.machine import MachineParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import SPCluster
+    from repro.faults.plan import FaultPlan
+
+__all__ = ["ClusterConfig", "PRESETS", "preset"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything needed to build one :class:`SPCluster`."""
+
+    num_nodes: int = 2
+    stack: str = "lapi-enhanced"
+    params: Optional[MachineParams] = None
+    seed: int = 0
+    interrupt_mode: bool = False
+    trace: bool = False
+    fault_plan: Optional["FaultPlan"] = None
+
+    def replace(self, **changes) -> "ClusterConfig":
+        return replace(self, **changes)
+
+    def with_params(self, **param_changes) -> "ClusterConfig":
+        """A copy whose :class:`MachineParams` carry ``param_changes``."""
+        base = self.params if self.params is not None else MachineParams()
+        return replace(self, params=base.replace(**param_changes))
+
+    def build(self) -> "SPCluster":
+        from repro.cluster.cluster import SPCluster
+
+        return SPCluster(
+            self.num_nodes,
+            stack=self.stack,
+            params=self.params,
+            seed=self.seed,
+            interrupt_mode=self.interrupt_mode,
+            trace=self.trace,
+            fault_plan=self.fault_plan,
+        )
+
+
+def _paper_4node(**overrides) -> ClusterConfig:
+    return ClusterConfig(num_nodes=4).replace(**overrides)
+
+
+def _interrupt_mode(**overrides) -> ClusterConfig:
+    return ClusterConfig(num_nodes=2, interrupt_mode=True).replace(**overrides)
+
+
+def _lossy(rate: float = 0.05, **overrides) -> ClusterConfig:
+    cfg = ClusterConfig(num_nodes=2).with_params(packet_loss_rate=rate)
+    return cfg.replace(**overrides)
+
+
+PRESETS = {
+    "paper_4node": _paper_4node,
+    "interrupt_mode": _interrupt_mode,
+    "lossy": _lossy,
+}
+
+
+def preset(name: str, **overrides) -> ClusterConfig:
+    """Instantiate a named preset with keyword overrides."""
+    factory = PRESETS.get(name)
+    if factory is None:
+        raise KeyError(f"unknown preset {name!r}; choose from {sorted(PRESETS)}")
+    return factory(**overrides)

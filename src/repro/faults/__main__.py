@@ -1,0 +1,6 @@
+"""``python -m repro.faults`` — the campaign CLI."""
+
+from repro.faults.campaign import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,327 @@
+"""Declarative fault plans: composable schedules of fault events.
+
+A :class:`FaultPlan` is an immutable, named collection of
+:class:`FaultEvent` instances, each active over a time window
+``[at_us, at_us + duration_us)`` and targeting one injection *site*:
+
+========== =============================================================
+site        events
+========== =============================================================
+fabric      :class:`LossBurst`, :class:`ReorderStorm`,
+            :class:`DuplicateStorm`
+adapter     :class:`FifoSqueeze`
+dispatcher  :class:`DispatcherStall`
+cpu         :class:`NodeSlowdown`
+storm       :class:`InterruptStorm` (driven by its own sim process)
+========== =============================================================
+
+Plans serialise to/from plain JSON-able dicts (``to_dict`` /
+``from_dict``) so campaigns can be checked in as data.  The built-in
+plans used by the chaos soak live in :data:`PLANS`.
+
+Events with ``node=None`` apply cluster-wide; an integer restricts the
+event to that node (for fabric events: packets whose source *or*
+destination is that node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields
+from typing import ClassVar, Iterable, Optional
+
+__all__ = [
+    "DispatcherStall",
+    "DuplicateStorm",
+    "FaultEvent",
+    "FaultPlan",
+    "FifoSqueeze",
+    "InterruptStorm",
+    "LossBurst",
+    "NodeSlowdown",
+    "PLANS",
+    "ReorderStorm",
+    "SITES",
+    "builtin_plan",
+]
+
+SITES = ("fabric", "adapter", "dispatcher", "cpu", "storm")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base fault event: a window on the simulation clock."""
+
+    #: injection site this event binds to (class-level)
+    site: ClassVar[str] = ""
+    #: serialisation tag (class-level)
+    kind: ClassVar[str] = ""
+
+    at_us: float = 0.0
+    duration_us: float = 0.0
+    node: Optional[int] = None
+
+    def __post_init__(self):
+        if self.at_us < 0.0 or self.duration_us < 0.0:
+            raise ValueError("fault windows need non-negative at/duration")
+
+    @property
+    def end_us(self) -> float:
+        return self.at_us + self.duration_us
+
+    def active(self, now: float) -> bool:
+        return self.at_us <= now < self.end_us
+
+    def matches_node(self, node: Optional[int]) -> bool:
+        return self.node is None or node is None or self.node == node
+
+    def matches_packet(self, src: int, dst: int) -> bool:
+        return self.node is None or self.node in (src, dst)
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["kind"] = self.kind
+        return d
+
+
+@dataclass(frozen=True)
+class LossBurst(FaultEvent):
+    """Drop fabric packets with probability ``rate`` during the window."""
+
+    site: ClassVar[str] = "fabric"
+    kind: ClassVar[str] = "loss_burst"
+    rate: float = 1.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError("loss rate must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ReorderStorm(FaultEvent):
+    """Inflate per-packet fabric delay by ``extra_skew_us`` plus a
+    uniform draw in ``[0, extra_jitter_us)`` — enough spread and later
+    packets overtake earlier ones."""
+
+    site: ClassVar[str] = "fabric"
+    kind: ClassVar[str] = "reorder_storm"
+    extra_skew_us: float = 0.0
+    extra_jitter_us: float = 0.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.extra_skew_us < 0.0 or self.extra_jitter_us < 0.0:
+            raise ValueError("reorder storm delays must be non-negative")
+
+
+@dataclass(frozen=True)
+class DuplicateStorm(FaultEvent):
+    """With probability ``rate``, deliver ``copies`` copies of a packet
+    (the extras staggered by jitter so they arrive distinctly)."""
+
+    site: ClassVar[str] = "fabric"
+    kind: ClassVar[str] = "duplicate_storm"
+    rate: float = 0.5
+    copies: int = 2
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError("duplicate rate must be in [0, 1]")
+        if self.copies < 2:
+            raise ValueError("a duplicate storm needs copies >= 2")
+
+
+@dataclass(frozen=True)
+class FifoSqueeze(FaultEvent):
+    """Clamp the adapter host receive FIFO to ``capacity`` slots,
+    forcing overflow drops the reliability layer must repair."""
+
+    site: ClassVar[str] = "adapter"
+    kind: ClassVar[str] = "fifo_squeeze"
+    capacity: int = 2
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.capacity < 1:
+            raise ValueError("squeezed FIFO still needs >= 1 slot")
+
+
+@dataclass(frozen=True)
+class DispatcherStall(FaultEvent):
+    """Charge ``stall_us`` of extra CPU before each dispatcher drain —
+    a progress engine that has gone unresponsive."""
+
+    site: ClassVar[str] = "dispatcher"
+    kind: ClassVar[str] = "dispatcher_stall"
+    stall_us: float = 50.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.stall_us < 0.0:
+            raise ValueError("stall must be non-negative")
+
+
+@dataclass(frozen=True)
+class InterruptStorm(FaultEvent):
+    """Spurious interrupts every ``period_us``, each stealing one
+    interrupt-overhead charge from the node's CPU."""
+
+    site: ClassVar[str] = "storm"
+    kind: ClassVar[str] = "interrupt_storm"
+    period_us: float = 25.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.period_us <= 0.0:
+            raise ValueError("storm period must be positive")
+
+
+@dataclass(frozen=True)
+class NodeSlowdown(FaultEvent):
+    """Multiply every CPU cost on the node by ``factor`` (> 1 slows)."""
+
+    site: ClassVar[str] = "cpu"
+    kind: ClassVar[str] = "node_slowdown"
+    factor: float = 2.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.factor <= 0.0:
+            raise ValueError("slowdown factor must be positive")
+
+
+EVENT_TYPES = {
+    cls.kind: cls
+    for cls in (LossBurst, ReorderStorm, DuplicateStorm, FifoSqueeze,
+                DispatcherStall, InterruptStorm, NodeSlowdown)
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, named schedule of fault events."""
+
+    name: str = "none"
+    events: tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def extend(self, *events: FaultEvent, name: Optional[str] = None) -> "FaultPlan":
+        return FaultPlan(name if name is not None else self.name,
+                         self.events + tuple(events))
+
+    def __add__(self, other: "FaultPlan") -> "FaultPlan":
+        return FaultPlan(f"{self.name}+{other.name}", self.events + other.events)
+
+    def for_site(self, site: str) -> tuple[FaultEvent, ...]:
+        if site not in SITES:
+            raise ValueError(f"unknown site {site!r}; choose from {SITES}")
+        return tuple(e for e in self.events if e.site == site)
+
+    @property
+    def horizon_us(self) -> float:
+        """When the last scheduled event window closes."""
+        return max((e.end_us for e in self.events), default=0.0)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "events": [e.to_dict() for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        events = []
+        for ed in d.get("events", ()):
+            ed = dict(ed)
+            kind = ed.pop("kind")
+            etype = EVENT_TYPES.get(kind)
+            if etype is None:
+                raise ValueError(f"unknown fault event kind {kind!r}")
+            allowed = {f.name for f in fields(etype)}
+            unknown = set(ed) - allowed
+            if unknown:
+                raise ValueError(f"{kind}: unknown field(s) {sorted(unknown)}")
+            events.append(etype(**ed))
+        return cls(d.get("name", "none"), tuple(events))
+
+
+# ---------------------------------------------------------------- built-ins
+# The soak plans are short and deterministic: windows sized for the
+# campaign workloads (a ping-pong round trip is tens of us; a class-S
+# kernel runs a few ms).
+
+def _loss_burst(at_us: float = 20.0, duration_us: float = 400.0,
+                rate: float = 0.35) -> FaultPlan:
+    return FaultPlan("loss-burst", (LossBurst(at_us, duration_us, rate=rate),))
+
+
+def _reorder_storm(at_us: float = 20.0, duration_us: float = 600.0,
+                   extra_skew_us: float = 4.0,
+                   extra_jitter_us: float = 30.0) -> FaultPlan:
+    return FaultPlan("reorder-storm", (
+        ReorderStorm(at_us, duration_us, extra_skew_us=extra_skew_us,
+                     extra_jitter_us=extra_jitter_us),
+    ))
+
+
+def _fifo_squeeze(at_us: float = 20.0, duration_us: float = 500.0,
+                  capacity: int = 1) -> FaultPlan:
+    return FaultPlan("fifo-squeeze", (
+        FifoSqueeze(at_us, duration_us, capacity=capacity),
+    ))
+
+
+def _duplicate_storm(at_us: float = 20.0, duration_us: float = 500.0,
+                     rate: float = 0.4, copies: int = 2) -> FaultPlan:
+    return FaultPlan("duplicate-storm", (
+        DuplicateStorm(at_us, duration_us, rate=rate, copies=copies),
+    ))
+
+
+def _dispatcher_stall(at_us: float = 20.0, duration_us: float = 400.0,
+                      stall_us: float = 40.0) -> FaultPlan:
+    return FaultPlan("dispatcher-stall", (
+        DispatcherStall(at_us, duration_us, stall_us=stall_us),
+    ))
+
+
+def _chaos() -> FaultPlan:
+    """Everything at once, staggered — the kitchen-sink soak plan."""
+    return FaultPlan("chaos", (
+        LossBurst(20.0, 250.0, rate=0.25),
+        ReorderStorm(150.0, 400.0, extra_skew_us=3.0, extra_jitter_us=20.0),
+        DuplicateStorm(300.0, 300.0, rate=0.3),
+        FifoSqueeze(100.0, 350.0, capacity=2, node=1),
+        DispatcherStall(250.0, 250.0, stall_us=30.0, node=0),
+        InterruptStorm(50.0, 300.0, period_us=40.0, node=1),
+        NodeSlowdown(200.0, 300.0, factor=1.5, node=0),
+    ))
+
+
+PLANS = {
+    "loss-burst": _loss_burst,
+    "reorder-storm": _reorder_storm,
+    "fifo-squeeze": _fifo_squeeze,
+    "duplicate-storm": _duplicate_storm,
+    "dispatcher-stall": _dispatcher_stall,
+    "chaos": _chaos,
+}
+
+
+def builtin_plan(name: str, **overrides) -> FaultPlan:
+    """Instantiate a named built-in plan (see :data:`PLANS`)."""
+    factory = PLANS.get(name)
+    if factory is None:
+        raise KeyError(f"unknown plan {name!r}; choose from {sorted(PLANS)}")
+    return factory(**overrides)
+
+
+def iter_events(plans: Iterable[FaultPlan]):
+    for plan in plans:
+        yield from plan.events

@@ -153,6 +153,9 @@ class Lapi:
         self.task_id = task_id
         self.num_tasks = num_tasks
         self.enhanced = enhanced
+        #: fault hook (:class:`repro.faults.FaultPoint`) for dispatcher
+        #: stalls; installed by the cluster, ``None`` otherwise
+        self.faults = None
 
         self._handlers: dict[str, Callable] = {}
         self._inline_always: set[str] = set()
@@ -553,6 +556,10 @@ class Lapi:
         each packet exactly once, and no per-packet state is shared
         across a yield point.  Returns the number of packets processed.
         """
+        if self.faults is not None:
+            stall = self.faults.stall_us(self.env.now)
+            if stall > 0.0:
+                yield from self.cpu.execute(thread, stall)
         processed = 0
         while True:
             pkt = self.hal.poll()

@@ -71,6 +71,9 @@ class Cpu:
         self._waiters: deque[Event] = deque()
         #: cumulative busy time across cores (utilisation statistic)
         self.busy_us: float = 0.0
+        #: fault hook (:class:`repro.faults.FaultPoint`) for node-slowdown
+        #: events; installed by the cluster, ``None`` otherwise
+        self.faults = None
 
     @property
     def cores(self) -> int:
@@ -89,6 +92,8 @@ class Cpu:
             core = yield ev  # hand-off: the releaser granted us this core
         try:
             switch = self._switch_penalty(core, thread)
+            if self.faults is not None:
+                cost_us = cost_us * self.faults.slowdown(self.env.now)
             total = switch + max(0.0, cost_us)
             if total > 0.0:
                 yield self.env.timeout(total)

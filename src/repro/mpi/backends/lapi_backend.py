@@ -364,6 +364,16 @@ class LapiBackend(Backend):
                          {"sid": msg.sid, "slot": self._alloc_rdata_slot(msg),
                           "mid": msg.mid})
                     )
+            elif msg.assembled:
+                # a deferred message can finish assembling into its EA
+                # buffer before the announcement gap fills; the completion
+                # ran with no request bound, so finish the hand-off here
+                backend = self
+
+                def finalize(thread: str, msg=msg, req=req) -> Generator:
+                    yield from backend._copy_ea_to_user(thread, msg, req)
+
+                req.set_finalizer(finalize)
         elif msg.mode == READY:
             # Fig 3: ready-mode message with no posted receive is fatal
             raise MpiFatal(

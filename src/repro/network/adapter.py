@@ -63,6 +63,9 @@ class Adapter:
         self.fabric = fabric
         self.node_id = node_id
         self.stats = stats
+        #: fault hook (:class:`repro.faults.FaultPoint`) for host-FIFO
+        #: squeeze events; installed by the cluster, ``None`` otherwise
+        self.faults = None
 
         # receive-FIFO occupancy high water: how close the node came to
         # the overflow drops the reliability layers must then repair
@@ -126,12 +129,19 @@ class Adapter:
         """Fabric hand-off: packet reached this adapter's SRAM."""
         self._sram_rx.put(packet)
 
+    def _fifo_capacity(self) -> int:
+        """Host receive-FIFO capacity right now (fault squeeze aware)."""
+        cap = self.params.adapter_recv_fifo
+        if self.faults is not None:
+            cap = self.faults.fifo_capacity(cap, self.env.now)
+        return cap
+
     def _recv_dma_engine(self) -> Generator:
         p = self.params
         while True:
             packet: Packet = yield self._sram_rx.get()
             yield self.env.timeout(p.dma_cost(packet.wire_bytes))
-            if len(self._host_rx) >= p.adapter_recv_fifo:
+            if len(self._host_rx) >= self._fifo_capacity():
                 # Host FIFO overflow: the adapter drops; reliability
                 # layers above recover via retransmission.
                 self.stats.packets_dropped += 1

@@ -5,7 +5,11 @@ Routing model: each (source, destination) flow round-robins over
 carries a standing congestion penalty of ``r * route_skew_us`` plus a
 uniform jitter draw — so later packets of a message can overtake earlier
 ones when the skew/jitter exceeds the inter-packet serialisation gap.
-Loss is injected with ``params.packet_loss_rate``.
+
+Faults (loss, duplication, reorder storms) are injected through an
+optional :class:`repro.faults.FaultPoint`; a fabric built without one
+derives a standing loss point from ``params.packet_loss_rate``, so the
+scalar knob keeps working for directly constructed fabrics.
 
 The fabric owns no CPU time; link serialisation happens in the sending
 adapter and reception costs in the receiving one.
@@ -36,11 +40,21 @@ class SwitchFabric:
         params: MachineParams,
         rng: Optional[np.random.Generator] = None,
         metrics=None,
+        faults=None,
     ):
         params.validate()
         self.env = env
         self.params = params
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        #: fault hook (:class:`repro.faults.FaultPoint`) — ``None`` keeps
+        #: the hot path draw-free
+        self.faults = faults
+        if faults is None:
+            from repro.faults.points import FaultInjector
+
+            # standing loss point reading params.packet_loss_rate live
+            # (drawing from the fabric rng, in the pre-FaultPoint order)
+            self.faults = FaultInjector(rng=self.rng, params=params).point("fabric")
         self._adapters: dict[int, "Adapter"] = {}
         self._next_route: dict[tuple[int, int], int] = {}
         #: total packets the fabric dropped (loss injection)
@@ -80,22 +94,30 @@ class SwitchFabric:
         if packet.dst not in self._adapters:
             raise KeyError(f"no adapter attached for node {packet.dst}")
         p = self.params
-        if p.packet_loss_rate > 0.0 and self.rng.random() < p.packet_loss_rate:
-            self.dropped += 1
-            if self._m_dropped is not None:
-                self._m_dropped.incr()
-            return
+        copies, extras = 1, ()
+        if self.faults is not None:
+            verdict = self.faults.on_packet(packet, self.env.now)
+            if verdict is not None:
+                if verdict.copies == 0:
+                    self.dropped += 1
+                    if self._m_dropped is not None:
+                        self._m_dropped.incr()
+                    return
+                copies = verdict.copies
+                extras = verdict.extra_delays_us
         delay = (
             p.route_base_us
             + packet.route * p.route_skew_us
             + (self.rng.random() * p.route_jitter_us if p.route_jitter_us > 0 else 0.0)
         )
-        if self._h_delay is not None:
-            self._h_delay.observe(delay)
         dst = self._adapters[packet.dst]
 
         def arrive(_ev) -> None:
             self.delivered += 1
             dst._fabric_deliver(packet)
 
-        self.env.timeout(delay)._add_callback(arrive)
+        for k in range(copies):
+            d = delay + (extras[k] if k < len(extras) else 0.0)
+            if self._h_delay is not None:
+                self._h_delay.observe(d)
+            self.env.timeout(d)._add_callback(arrive)

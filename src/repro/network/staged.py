@@ -67,11 +67,19 @@ class StagedFabric:
         params: MachineParams,
         rng: Optional[np.random.Generator] = None,
         metrics=None,
+        faults=None,
     ):
         params.validate()
         self.env = env
         self.params = params
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        #: fault hook (:class:`repro.faults.FaultPoint`), as on SwitchFabric
+        self.faults = faults
+        if faults is None:
+            from repro.faults.points import FaultInjector
+
+            # standing loss point reading params.packet_loss_rate live
+            self.faults = FaultInjector(rng=self.rng, params=params).point("fabric")
         self._adapters: dict[int, "Adapter"] = {}
         self._next_route: dict[tuple[int, int], int] = {}
         #: (plane, stage, dst_prefix, src_suffix) -> busy-until time
@@ -116,11 +124,17 @@ class StagedFabric:
         if packet.dst not in self._adapters:
             raise KeyError(f"no adapter attached for node {packet.dst}")
         p = self.params
-        if p.packet_loss_rate > 0.0 and self.rng.random() < p.packet_loss_rate:
-            self.dropped += 1
-            if self._m_dropped is not None:
-                self._m_dropped.incr()
-            return
+        copies, extras = 1, ()
+        if self.faults is not None:
+            verdict = self.faults.on_packet(packet, self.env.now)
+            if verdict is not None:
+                if verdict.copies == 0:
+                    self.dropped += 1
+                    if self._m_dropped is not None:
+                        self._m_dropped.incr()
+                    return
+                copies = verdict.copies
+                extras = verdict.extra_delays_us
         occupancy = packet.wire_bytes * p.wire_us_per_byte
         t = self.env.now
         for link in butterfly_links(packet.src, packet.dst, self._stages):
@@ -135,12 +149,14 @@ class StagedFabric:
             self._busy_until[key] = max(t, free_at) + occupancy
         if p.route_jitter_us > 0.0:
             t += self.rng.random() * p.route_jitter_us
-        if self._h_delay is not None:
-            self._h_delay.observe(t - self.env.now)
         dst = self._adapters[packet.dst]
 
         def arrive(_ev) -> None:
             self.delivered += 1
             dst._fabric_deliver(packet)
 
-        self.env.timeout(t - self.env.now)._add_callback(arrive)
+        for k in range(copies):
+            d = (t - self.env.now) + (extras[k] if k < len(extras) else 0.0)
+            if self._h_delay is not None:
+                self._h_delay.observe(d)
+            self.env.timeout(d)._add_callback(arrive)

@@ -1,9 +1,12 @@
 """Observability: metrics registry, latency breakdowns, message spans."""
 
 from repro.obs.breakdown import (
+    CAPTURE_MODES,
     PHASES,
     Breakdown,
     TruncatedTraceError,
+    breakdown,
+    capture,
     lapi_breakdowns,
     pipes_breakdowns,
     summarize,
@@ -14,6 +17,7 @@ from repro.obs.spans import MessageTree, Span, build_span_trees, render_text
 
 __all__ = [
     "Breakdown",
+    "CAPTURE_MODES",
     "Counter",
     "Gauge",
     "Histogram",
@@ -22,7 +26,9 @@ __all__ = [
     "PHASES",
     "Span",
     "TruncatedTraceError",
+    "breakdown",
     "build_span_trees",
+    "capture",
     "lapi_breakdowns",
     "pipes_breakdowns",
     "render_text",

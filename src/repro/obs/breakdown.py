@@ -40,8 +40,11 @@ from repro.trace import TraceRecord, Tracer
 
 __all__ = [
     "Breakdown",
+    "CAPTURE_MODES",
     "PHASES",
     "TruncatedTraceError",
+    "breakdown",
+    "capture",
     "lapi_breakdowns",
     "pipes_breakdowns",
     "summarize",
@@ -290,3 +293,128 @@ def summarize(breakdowns: list[Breakdown]) -> dict:
             p: sum(b.phases[p] for b in breakdowns) / n for p in PHASES
         },
     }
+
+
+# --------------------------------------------------------------- capture
+#: receive-progress modes :func:`capture` can drive
+CAPTURE_MODES = ("polling", "interrupt")
+
+
+def capture(
+    stack: str,
+    msg_size: int,
+    mode: str = "polling",
+    reps: int = 4,
+    params=None,
+    seed: int = 0,
+    fault_plan=None,
+):
+    """Run a traced 2-node ping-pong; returns the finished cluster.
+
+    The single capture entry point shared by the Fig 10/13 benches and
+    the fault campaigns.  ``mode`` selects receive progress:
+
+    ``"polling"``
+        blocking send/recv ping-pong; progress made inside MPI calls.
+    ``"interrupt"``
+        the responder pre-posts its receives and busy-checks the
+        receive buffers' *contents* without entering MPI (the paper's
+        Fig 13 methodology), so delivery progress is interrupt-driven
+        and the hysteresis dwell shows up in the capture.
+
+    The cluster's ``tracer`` holds the full capture — feed it to
+    :func:`lapi_breakdowns` / :func:`pipes_breakdowns` for Fig 10
+    phases or :func:`repro.obs.build_span_trees` for per-message causal
+    trees.  ``fault_plan`` injects a :class:`repro.faults.FaultPlan`,
+    whose events appear as ``fault``-layer instants in the capture.
+    """
+    from repro.cluster import SPCluster
+    from repro.machine import MachineParams
+
+    if mode not in CAPTURE_MODES:
+        raise ValueError(f"unknown mode {mode!r}; choose from {CAPTURE_MODES}")
+    if msg_size < 1:
+        raise ValueError("capture needs a positive message size")
+    if stack == "raw-lapi":
+        raise ValueError("capture drives the MPI stacks")
+    cluster = SPCluster(
+        2, stack=stack,
+        params=params if params is not None else MachineParams(),
+        seed=seed, trace=True, interrupt_mode=(mode == "interrupt"),
+        fault_plan=fault_plan,
+    )
+
+    if mode == "interrupt":
+        import numpy as np
+
+        def program(comm, rank, size):
+            if rank == 1:
+                bufs = [np.zeros(msg_size, dtype=np.uint8) for _ in range(reps)]
+                reqs = []
+                for i in range(reps):
+                    r = yield from comm.irecv(bufs[i], source=0)
+                    reqs.append(r)
+                yield from comm.barrier()
+                for i in range(reps):
+                    marker = (i % 255) + 1
+                    # spin on memory contents — NOT on MPI calls
+                    while bufs[i][-1] != marker:
+                        yield from comm.backend.cpu.execute(
+                            "user", comm.backend.params.poll_check_us
+                        )
+                    yield from comm.send(bytes([marker]) * msg_size, dest=0)
+                return None
+            buf = bytearray(msg_size)
+            yield from comm.barrier()
+            for i in range(reps):
+                marker = (i % 255) + 1
+                yield from comm.send(bytes([marker]) * msg_size, dest=1)
+                yield from comm.recv(buf, source=1)
+            return None
+    else:
+        payload = bytes(msg_size)
+
+        def program(comm, rank, size):
+            buf = bytearray(msg_size)
+            yield from comm.barrier()
+            for _ in range(reps):
+                if rank == 0:
+                    yield from comm.send(payload, dest=1)
+                    yield from comm.recv(buf, source=1)
+                else:
+                    yield from comm.recv(buf, source=0)
+                    yield from comm.send(payload, dest=0)
+            return None
+
+    cluster.run(program)
+    return cluster
+
+
+def breakdown(
+    stack: str,
+    msg_size: int,
+    mode: str = "polling",
+    reps: int = 4,
+    params=None,
+    seed: int = 0,
+    allow_truncated: bool = False,
+    fault_plan=None,
+):
+    """Per-phase latency decomposition of a ping-pong (paper Fig 10).
+
+    Runs :func:`capture` and attributes each data message's end-to-end
+    time to the seven :data:`PHASES`.  Returns ``(summary, breakdowns)``
+    where ``summary`` is the JSON-able output of :func:`summarize` over
+    the data messages only (control traffic — barrier, rendezvous
+    handshake — is excluded by size).  Most meaningful at eager sizes,
+    where one message is one frame.  With ``mode="interrupt"`` the
+    hysteresis dwell lands in the ``interrupt`` phase.
+    """
+    cluster = capture(stack, msg_size, mode=mode, reps=reps, params=params,
+                      seed=seed, fault_plan=fault_plan)
+    if stack == "native":
+        downs = pipes_breakdowns(cluster.tracer, allow_truncated=allow_truncated)
+    else:
+        downs = lapi_breakdowns(cluster.tracer, allow_truncated=allow_truncated)
+    data = [b for b in downs if b.bytes == msg_size]
+    return summarize(data), data

@@ -68,6 +68,9 @@ class PipeEndpoint:
         self._tx: dict[int, _FlowTx] = {}
         self._rx: dict[int, _FlowRx] = {}
         self.on_packet: Optional[Callable[..., Generator]] = None
+        #: fault hook (:class:`repro.faults.FaultPoint`) for dispatcher
+        #: stalls; installed by the cluster, ``None`` otherwise
+        self.faults = None
         # observability: the staging/reorder copies are what the paper's
         # Fig 11/12 argument charges the native stack for
         self.metrics = stats.registry
@@ -205,6 +208,10 @@ class PipeEndpoint:
     # ---------------------------------------------------------- receiving
     def dispatch(self, thread: str) -> Generator:
         """Drain the adapter and process every pending packet."""
+        if self.faults is not None:
+            stall = self.faults.stall_us(self.env.now)
+            if stall > 0.0:
+                yield from self.cpu.execute(thread, stall)
         while True:
             pkt = self.hal.poll()
             if pkt is None:

@@ -1,0 +1,125 @@
+"""FaultPlan / FaultEvent: composition, validation, JSON round-trip."""
+
+import pytest
+
+from repro.faults import (
+    DispatcherStall,
+    DuplicateStorm,
+    FaultPlan,
+    FifoSqueeze,
+    InterruptStorm,
+    LossBurst,
+    NodeSlowdown,
+    PLANS,
+    ReorderStorm,
+    SITES,
+    builtin_plan,
+)
+
+
+# ------------------------------------------------------------- validation
+@pytest.mark.parametrize("bad", [
+    lambda: LossBurst(at_us=-1.0),
+    lambda: LossBurst(duration_us=-0.5),
+    lambda: LossBurst(rate=1.5),
+    lambda: LossBurst(rate=-0.1),
+    lambda: DuplicateStorm(rate=2.0),
+    lambda: DuplicateStorm(copies=1),
+    lambda: FifoSqueeze(capacity=0),
+    lambda: DispatcherStall(stall_us=-1.0),
+    lambda: InterruptStorm(period_us=0.0),
+    lambda: NodeSlowdown(factor=0.0),
+    lambda: ReorderStorm(extra_skew_us=-1.0),
+])
+def test_invalid_events_rejected(bad):
+    with pytest.raises(ValueError):
+        bad()
+
+
+def test_event_window_semantics():
+    ev = LossBurst(at_us=10.0, duration_us=5.0, rate=0.5)
+    assert ev.end_us == 15.0
+    assert not ev.active(9.99)
+    assert ev.active(10.0)
+    assert ev.active(14.99)
+    assert not ev.active(15.0)  # half-open window
+
+
+def test_node_scoping():
+    anywhere = LossBurst(rate=1.0)
+    assert anywhere.matches_packet(0, 1)
+    assert anywhere.matches_node(3)
+    pinned = LossBurst(rate=1.0, node=1)
+    assert pinned.matches_packet(0, 1)
+    assert pinned.matches_packet(1, 2)
+    assert not pinned.matches_packet(0, 2)
+    assert pinned.matches_node(1)
+    assert not pinned.matches_node(0)
+
+
+# ------------------------------------------------------------ composition
+def test_plan_extend_and_add():
+    a = FaultPlan("a", (LossBurst(rate=0.1),))
+    b = a.extend(FifoSqueeze(capacity=2), name="ab")
+    assert (len(a), len(b)) == (1, 2)
+    assert b.name == "ab"
+    c = a + FaultPlan("z", (NodeSlowdown(factor=2.0),))
+    assert c.name == "a+z"
+    assert len(c) == 2
+
+
+def test_for_site_partitions_events():
+    plan = builtin_plan("chaos")
+    total = sum(len(plan.for_site(s)) for s in SITES)
+    assert total == len(plan)
+    assert all(e.site == "fabric" for e in plan.for_site("fabric"))
+    with pytest.raises(ValueError):
+        plan.for_site("disk")
+
+
+def test_horizon():
+    assert FaultPlan().horizon_us == 0.0
+    plan = FaultPlan("p", (LossBurst(10.0, 20.0, rate=0.5),
+                           FifoSqueeze(5.0, 100.0, capacity=2)))
+    assert plan.horizon_us == 105.0
+
+
+# ---------------------------------------------------------- serialisation
+def test_dict_round_trip():
+    plan = builtin_plan("chaos")
+    clone = FaultPlan.from_dict(plan.to_dict())
+    assert clone == plan
+    assert clone.to_dict() == plan.to_dict()
+
+
+def test_from_dict_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown fault event kind"):
+        FaultPlan.from_dict({"name": "x", "events": [{"kind": "gremlin"}]})
+
+
+def test_from_dict_rejects_unknown_field():
+    with pytest.raises(ValueError, match="unknown field"):
+        FaultPlan.from_dict({
+            "name": "x",
+            "events": [{"kind": "loss_burst", "rate": 0.5, "color": "red"}],
+        })
+
+
+# --------------------------------------------------------------- registry
+def test_builtin_plans_cover_registry():
+    for name in PLANS:
+        plan = builtin_plan(name)
+        assert plan.name == name
+        assert len(plan) >= 1
+
+
+def test_builtin_plan_overrides():
+    plan = builtin_plan("loss-burst", rate=0.9, duration_us=50.0)
+    (ev,) = plan.events
+    assert ev.rate == 0.9
+    assert ev.duration_us == 50.0
+
+
+def test_builtin_plan_unknown_name():
+    with pytest.raises(KeyError):
+        builtin_plan("kernel-panic")
