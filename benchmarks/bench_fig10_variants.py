@@ -55,10 +55,13 @@ def main(argv=None) -> int:
 
     parser = argparse.ArgumentParser(description=main.__doc__)
     parser.add_argument("--out", default=".", help="output directory")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel sweep workers (0 = one per CPU); "
+                             "results are identical at any worker count")
     args = parser.parse_args(argv)
 
     sizes = [4, 256, 1024, 16384, 65536]
-    data = fig10.rows(sizes=sizes)
+    data = fig10.rows(sizes=sizes, jobs=args.jobs)
     breakdown = {}
     for variant in ("lapi-base", "lapi-counters", "lapi-enhanced"):
         summary, _ = obs_breakdown(variant, 256, reps=4)

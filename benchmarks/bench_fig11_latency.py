@@ -50,11 +50,14 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=".", help="output directory")
     parser.add_argument("--full", action="store_true",
                         help="the figure's full size sweep")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel sweep workers (0 = one per CPU); "
+                             "results are identical at any worker count")
     args = parser.parse_args(argv)
 
     sizes = fig11.DEFAULT_SIZES if args.full else [1, 16, 256, 1024, 4096]
     reps = 6
-    data = fig11.rows(sizes=sizes)
+    data = fig11.rows(sizes=sizes, jobs=args.jobs)
 
     bd_size, bd_reps = 256, 4
     breakdown = {}

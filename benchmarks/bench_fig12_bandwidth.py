@@ -39,10 +39,13 @@ def main(argv=None) -> int:
 
     parser = argparse.ArgumentParser(description=main.__doc__)
     parser.add_argument("--out", default=".", help="output directory")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel sweep workers (0 = one per CPU); "
+                             "results are identical at any worker count")
     args = parser.parse_args(argv)
 
     sizes = [1024, 4096, 16384, 65536, 1048576]
-    data = fig12.rows(sizes=sizes)
+    data = fig12.rows(sizes=sizes, jobs=args.jobs)
     doc = make_artifact("fig12_bandwidth", params={"sizes": sizes}, results=data)
     path = write_artifact(doc, args.out)
     print(f"wrote {path}")

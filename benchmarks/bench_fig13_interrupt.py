@@ -58,10 +58,13 @@ def main(argv=None) -> int:
 
     parser = argparse.ArgumentParser(description=main.__doc__)
     parser.add_argument("--out", default=".", help="output directory")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel sweep workers (0 = one per CPU); "
+                             "results are identical at any worker count")
     args = parser.parse_args(argv)
 
     sizes = [1, 64, 1024, 8192]
-    data = fig13.rows(sizes=sizes)
+    data = fig13.rows(sizes=sizes, jobs=args.jobs)
     doc = make_artifact("fig13_interrupt", params={"sizes": sizes}, results=data)
     path = write_artifact(doc, args.out)
     print(f"wrote {path}")

@@ -12,10 +12,13 @@ from repro.bench.harness import (
     pingpong_us,
     raw_lapi_pingpong_us,
 )
+from repro.bench.parallel import Cell, run_cells
 
 __all__ = [
+    "Cell",
     "bandwidth_mbps",
     "interrupt_pingpong_us",
     "pingpong_us",
     "raw_lapi_pingpong_us",
+    "run_cells",
 ]

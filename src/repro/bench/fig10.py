@@ -11,6 +11,7 @@ from typing import Optional
 
 from repro.bench.figures import geometric_sizes, print_table, reps_for
 from repro.bench.harness import pingpong_us, raw_lapi_pingpong_us
+from repro.bench.parallel import Cell, run_cells
 from repro.machine import MachineParams
 
 __all__ = ["rows", "main"]
@@ -18,19 +19,21 @@ __all__ = ["rows", "main"]
 SERIES = ("raw-lapi", "lapi-base", "lapi-counters", "lapi-enhanced")
 
 
+def _row(size: int, params: Optional[MachineParams]) -> dict:
+    reps = reps_for(size)
+    row = {"size": size}
+    row["raw-lapi"] = raw_lapi_pingpong_us(size, reps=reps, params=params)
+    for stack in ("lapi-base", "lapi-counters", "lapi-enhanced"):
+        row[stack] = pingpong_us(stack, size, reps=reps, params=params)
+    return row
+
+
 def rows(sizes: Optional[list[int]] = None,
-         params: Optional[MachineParams] = None) -> list[dict]:
+         params: Optional[MachineParams] = None,
+         jobs: Optional[int] = None) -> list[dict]:
     if sizes is None:
         sizes = geometric_sizes(1, 1 << 20, 4)
-    out = []
-    for size in sizes:
-        reps = reps_for(size)
-        row = {"size": size}
-        row["raw-lapi"] = raw_lapi_pingpong_us(size, reps=reps, params=params)
-        for stack in ("lapi-base", "lapi-counters", "lapi-enhanced"):
-            row[stack] = pingpong_us(stack, size, reps=reps, params=params)
-        out.append(row)
-    return out
+    return run_cells([Cell(_row, size, params) for size in sizes], jobs=jobs)
 
 
 def check_shape(data: list[dict]) -> list[str]:

@@ -12,6 +12,7 @@ from typing import Optional
 
 from repro.bench.figures import print_table, reps_for
 from repro.bench.harness import pingpong_us
+from repro.bench.parallel import Cell, run_cells
 from repro.machine import MachineParams
 
 __all__ = ["rows", "main"]
@@ -19,24 +20,24 @@ __all__ = ["rows", "main"]
 DEFAULT_SIZES = [1, 4, 16, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
 
 
+def _row(size: int, params: Optional[MachineParams]) -> dict:
+    reps = reps_for(size)
+    native = pingpong_us("native", size, reps=reps, params=params)
+    lapi = pingpong_us("lapi-enhanced", size, reps=reps, params=params)
+    return {
+        "size": size,
+        "native": native,
+        "lapi-enhanced": lapi,
+        "improvement_%": 100.0 * (native - lapi) / native,
+    }
+
+
 def rows(sizes: Optional[list[int]] = None,
-         params: Optional[MachineParams] = None) -> list[dict]:
+         params: Optional[MachineParams] = None,
+         jobs: Optional[int] = None) -> list[dict]:
     if sizes is None:
         sizes = list(DEFAULT_SIZES)
-    out = []
-    for size in sizes:
-        reps = reps_for(size)
-        native = pingpong_us("native", size, reps=reps, params=params)
-        lapi = pingpong_us("lapi-enhanced", size, reps=reps, params=params)
-        out.append(
-            {
-                "size": size,
-                "native": native,
-                "lapi-enhanced": lapi,
-                "improvement_%": 100.0 * (native - lapi) / native,
-            }
-        )
-    return out
+    return run_cells([Cell(_row, size, params) for size in sizes], jobs=jobs)
 
 
 def check_shape(data: list[dict]) -> list[str]:

@@ -12,6 +12,7 @@ from typing import Optional
 
 from repro.bench.figures import geometric_sizes, print_table
 from repro.bench.harness import bandwidth_mbps
+from repro.bench.parallel import Cell, run_cells
 from repro.machine import MachineParams
 
 __all__ = ["rows", "main"]
@@ -25,23 +26,23 @@ def _count_for(size: int) -> int:
     return 24
 
 
+def _row(size: int, params: Optional[MachineParams]) -> dict:
+    n = bandwidth_mbps("native", size, count=_count_for(size), params=params)
+    l = bandwidth_mbps("lapi-enhanced", size, count=_count_for(size), params=params)
+    return {
+        "size": size,
+        "native": n,
+        "lapi-enhanced": l,
+        "improvement_%": 100.0 * (l - n) / n,
+    }
+
+
 def rows(sizes: Optional[list[int]] = None,
-         params: Optional[MachineParams] = None) -> list[dict]:
+         params: Optional[MachineParams] = None,
+         jobs: Optional[int] = None) -> list[dict]:
     if sizes is None:
         sizes = geometric_sizes(256, 1 << 20, 4)
-    out = []
-    for size in sizes:
-        n = bandwidth_mbps("native", size, count=_count_for(size), params=params)
-        l = bandwidth_mbps("lapi-enhanced", size, count=_count_for(size), params=params)
-        out.append(
-            {
-                "size": size,
-                "native": n,
-                "lapi-enhanced": l,
-                "improvement_%": 100.0 * (l - n) / n,
-            }
-        )
-    return out
+    return run_cells([Cell(_row, size, params) for size in sizes], jobs=jobs)
 
 
 def check_shape(data: list[dict]) -> list[str]:

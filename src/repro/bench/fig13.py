@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.bench.figures import print_table
 from repro.bench.harness import interrupt_pingpong_us
+from repro.bench.parallel import Cell, run_cells
 from repro.machine import MachineParams
 
 __all__ = ["rows", "main"]
@@ -20,23 +21,23 @@ __all__ = ["rows", "main"]
 DEFAULT_SIZES = [1, 4, 16, 64, 256, 1024, 4096, 8192]
 
 
+def _row(size: int, params: Optional[MachineParams]) -> dict:
+    n = interrupt_pingpong_us("native", size, params=params)
+    l = interrupt_pingpong_us("lapi-enhanced", size, params=params)
+    return {
+        "size": size,
+        "native": n,
+        "lapi-enhanced": l,
+        "speedup_x": n / l,
+    }
+
+
 def rows(sizes: Optional[list[int]] = None,
-         params: Optional[MachineParams] = None) -> list[dict]:
+         params: Optional[MachineParams] = None,
+         jobs: Optional[int] = None) -> list[dict]:
     if sizes is None:
         sizes = list(DEFAULT_SIZES)
-    out = []
-    for size in sizes:
-        n = interrupt_pingpong_us("native", size, params=params)
-        l = interrupt_pingpong_us("lapi-enhanced", size, params=params)
-        out.append(
-            {
-                "size": size,
-                "native": n,
-                "lapi-enhanced": l,
-                "speedup_x": n / l,
-            }
-        )
-    return out
+    return run_cells([Cell(_row, size, params) for size in sizes], jobs=jobs)
 
 
 def check_shape(data: list[dict]) -> list[str]:

@@ -38,20 +38,23 @@ def run_one(kernel: str, stack: str, nodes: int = 4,
     return result.elapsed_us
 
 
-def rows(nodes: int = 4, params: Optional[MachineParams] = None) -> list[dict]:
-    out = []
-    for kernel in KERNEL_ORDER:
-        native = run_one(kernel, "native", nodes, params)
-        lapi = run_one(kernel, "lapi-enhanced", nodes, params)
-        out.append(
-            {
-                "kernel": kernel.upper(),
-                "native_us": native,
-                "mpi_lapi_us": lapi,
-                "improvement_%": 100.0 * (native - lapi) / native,
-            }
-        )
-    return out
+def _row(kernel: str, nodes: int, params: Optional[MachineParams]) -> dict:
+    native = run_one(kernel, "native", nodes, params)
+    lapi = run_one(kernel, "lapi-enhanced", nodes, params)
+    return {
+        "kernel": kernel.upper(),
+        "native_us": native,
+        "mpi_lapi_us": lapi,
+        "improvement_%": 100.0 * (native - lapi) / native,
+    }
+
+
+def rows(nodes: int = 4, params: Optional[MachineParams] = None,
+         jobs: Optional[int] = None) -> list[dict]:
+    from repro.bench.parallel import Cell, run_cells
+
+    return run_cells([Cell(_row, kernel, nodes, params)
+                      for kernel in KERNEL_ORDER], jobs=jobs)
 
 
 def check_shape(data: list[dict]) -> list[str]:

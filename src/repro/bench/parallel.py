@@ -1,0 +1,85 @@
+"""Deterministic parallel sweep runner.
+
+Every sweep in this repository — figure size sweeps, NAS kernels, fault
+campaign cells — is a list of *independent* simulations: each cell
+builds its own :class:`~repro.sim.Environment` and derives every random
+draw from its own explicit seed (see :mod:`repro.rngs`).  Nothing about
+a cell's result depends on which OS process computes it, so fanning
+cells across a :class:`~concurrent.futures.ProcessPoolExecutor` is free
+of determinism hazards **by construction**: the runner only asserts the
+structure (self-contained, picklable cells; results merged in submission
+order) that makes the parallel output byte-identical to the serial one
+at any worker count.
+
+Usage::
+
+    from repro.bench.parallel import Cell, run_cells
+
+    cells = [Cell(_row, size, params) for size in sizes]
+    rows = run_cells(cells, jobs=jobs)     # == [c() for c in cells]
+
+Rules for cell functions:
+
+- module-level (picklable by qualified name — no lambdas, no closures);
+- arguments and return values picklable (dicts of scalars, dataclasses);
+- all randomness derived from arguments (a seed), never from global
+  state mutated by earlier cells.
+
+``jobs=None`` or ``jobs<=1`` runs the cells serially in-process — the
+default everywhere, so tests and small sweeps never pay pool start-up.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Optional, Sequence
+
+__all__ = ["Cell", "default_jobs", "run_cells"]
+
+
+def default_jobs() -> int:
+    """Worker count for ``jobs=0``: the machine's CPU count."""
+    return os.cpu_count() or 1
+
+
+class Cell:
+    """One independent unit of a sweep: ``fn(*args, **kwargs)``."""
+
+    __slots__ = ("fn", "args", "kwargs")
+
+    def __init__(self, fn: Callable, *args: Any, **kwargs: Any):
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+
+    def __call__(self) -> Any:
+        return self.fn(*self.args, **self.kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.fn, "__name__", repr(self.fn))
+        parts = [repr(a) for a in self.args]
+        parts += [f"{k}={v!r}" for k, v in sorted(self.kwargs.items())]
+        return f"Cell({name}({', '.join(parts)}))"
+
+
+def _run_cell(cell: Cell) -> Any:
+    return cell()
+
+
+def run_cells(cells: Sequence[Cell], jobs: Optional[int] = None) -> list[Any]:
+    """Run every cell; results in cell order, independent of ``jobs``.
+
+    ``jobs`` semantics: ``None``/``<=1`` serial in-process, ``0`` one
+    worker per CPU, ``n>1`` at most ``n`` workers.  ``executor.map``
+    preserves submission order, so the merged result list — and hence
+    any artifact built from it — is byte-identical to the serial run.
+    """
+    cells = list(cells)
+    if jobs == 0:
+        jobs = default_jobs()
+    if jobs is None or jobs <= 1 or len(cells) <= 1:
+        return [c() for c in cells]
+    workers = min(jobs, len(cells))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_cell, cells))

@@ -329,6 +329,13 @@ def run_workload(
     return cluster, result, _payload(result)
 
 
+def _reference_payload(workload: str, stack: str, seed: int, params) -> bytes:
+    """Fault-free reference payload (module-level: a parallel-runner cell)."""
+    _, _, payload = run_workload(workload, plan=None, stack=stack, seed=seed,
+                                 params=params)
+    return payload
+
+
 def run_campaign(
     plans=None,
     workloads=("pingpong", "streaming", "nas-cg"),
@@ -336,23 +343,29 @@ def run_campaign(
     seed: int = 0,
     params=None,
     trace: bool = False,
+    jobs: Optional[int] = None,
 ) -> list[CampaignResult]:
-    """The full matrix: every plan against every workload."""
+    """The full matrix: every plan against every workload.
+
+    ``jobs`` fans the independent cells across worker processes via
+    :mod:`repro.bench.parallel`; every cell derives its randomness from
+    its own (plan, workload, seed) arguments, so the result list is
+    byte-identical to a serial run at any worker count.
+    """
+    from repro.bench.parallel import Cell, run_cells
+
     if plans is None:
         plans = [builtin_plan(n) for n in
                  ("loss-burst", "reorder-storm", "fifo-squeeze")]
-    results = []
-    references: dict[str, bytes] = {}
-    for workload in workloads:
-        _, ref_result, ref_payload = run_workload(
-            workload, plan=None, stack=stack, seed=seed, params=params)
-        references[workload] = ref_payload
-    for plan in plans:
-        for workload in workloads:
-            results.append(_run_cell(plan, workload, references[workload],
-                                     stack=stack, seed=seed, params=params,
-                                     trace=trace))
-    return results
+    ref_payloads = run_cells(
+        [Cell(_reference_payload, w, stack, seed, params) for w in workloads],
+        jobs=jobs)
+    references = dict(zip(workloads, ref_payloads))
+    return run_cells(
+        [Cell(_run_cell, plan, workload, references[workload], stack, seed,
+              params, trace)
+         for plan in plans for workload in workloads],
+        jobs=jobs)
 
 
 def _run_cell(plan: FaultPlan, workload: str, reference_payload: bytes,
@@ -382,18 +395,28 @@ def _run_cell(plan: FaultPlan, workload: str, reference_payload: bytes,
     return out
 
 
-def run_soak(stack: str = "lapi-enhanced", seed: int = 0) -> list[CampaignResult]:
-    """The deterministic CI chaos soak (see :data:`SOAK_MATRIX`)."""
-    results = []
-    references: dict[str, bytes] = {}
-    for plan_name, workload in SOAK_MATRIX:
-        if workload not in references:
-            _, _, references[workload] = run_workload(
-                workload, plan=None, stack=stack, seed=seed)
-        results.append(_run_cell(builtin_plan(plan_name), workload,
-                                 references[workload], stack=stack,
-                                 seed=seed, params=None, trace=False))
-    return results
+def run_soak(stack: str = "lapi-enhanced", seed: int = 0,
+             jobs: Optional[int] = None) -> list[CampaignResult]:
+    """The deterministic CI chaos soak (see :data:`SOAK_MATRIX`).
+
+    ``jobs`` parallelises the cells; results are identical at any
+    worker count (see :func:`run_campaign`).
+    """
+    from repro.bench.parallel import Cell, run_cells
+
+    workloads = []
+    for _plan, workload in SOAK_MATRIX:
+        if workload not in workloads:
+            workloads.append(workload)
+    ref_payloads = run_cells(
+        [Cell(_reference_payload, w, stack, seed, None) for w in workloads],
+        jobs=jobs)
+    references = dict(zip(workloads, ref_payloads))
+    return run_cells(
+        [Cell(_run_cell, builtin_plan(plan_name), workload,
+              references[workload], stack, seed, None, False)
+         for plan_name, workload in SOAK_MATRIX],
+        jobs=jobs)
 
 
 # ------------------------------------------------------------------- CLI
@@ -411,18 +434,22 @@ def main(argv=None) -> int:
                         help="workload name (repeatable)")
     parser.add_argument("--stack", default="lapi-enhanced")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel campaign workers (0 = one per CPU); "
+                             "results are identical at any worker count")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="also write results as JSON")
     args = parser.parse_args(argv)
 
     if args.soak:
-        results = run_soak(stack=args.stack, seed=args.seed)
+        results = run_soak(stack=args.stack, seed=args.seed, jobs=args.jobs)
     else:
         plans = ([builtin_plan(n) for n in args.plan] if args.plan else None)
         workloads = tuple(args.workload) if args.workload else (
             "pingpong", "streaming", "nas-cg")
         results = run_campaign(plans=plans, workloads=workloads,
-                               stack=args.stack, seed=args.seed)
+                               stack=args.stack, seed=args.seed,
+                               jobs=args.jobs)
 
     width = max(len(r.plan) for r in results)
     for r in results:

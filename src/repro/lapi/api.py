@@ -84,6 +84,8 @@ class _Assembly:
         self.mlen = -1
         self.received = 0
         self.target = None
+        #: chunks that raced ahead of the header packet: (offset, payload)
+        #: where payload may be a read-only view of the sender's snapshot
         self.stash: list[tuple[int, bytes]] = []
         self.cmpl_fn: Optional[Callable[..., Generator]] = None
         self.cmpl_data: Any = None
@@ -475,8 +477,15 @@ class Lapi:
         while True:
             desc: _SendDesc = yield self._txq.get()
             flow = self._flow_for_tx(desc.dst)
-            chunks = fragment(len(desc.udata), p.packet_payload)
+            udata = desc.udata
+            chunks = fragment(len(udata), p.packet_payload)
             last_idx = len(chunks) - 1
+            # Zero-copy packetization: multi-packet messages ride read-only
+            # views of the immutable snapshot; a single-packet message is
+            # the snapshot itself.  The views stay valid for retransmits
+            # and for receive-side stashing because the snapshot never
+            # mutates.
+            view = memoryview(udata) if last_idx > 0 else None
             for idx, (off, ln) in enumerate(chunks):
                 while not flow.window.can_send:
                     # Drive the dispatcher while stalled: the window opens
@@ -493,7 +502,7 @@ class Lapi:
                     "msg": desc.msg_no,
                     "mid": desc.mid,
                     "off": off,
-                    "mlen": len(desc.udata),
+                    "mlen": len(udata),
                 }
                 if idx == 0:
                     header["first"] = True
@@ -501,7 +510,7 @@ class Lapi:
                     header["uhdr"] = desc.uhdr
                     header["tgt_cntr"] = desc.tgt_cntr_id
                     header["want_cmpl"] = desc.want_cmpl
-                payload = desc.udata[off : off + ln]
+                payload = udata if view is None else view[off : off + ln]
                 seq = flow.window.send((header, payload))
                 self._g_inflight.add(1)
                 header["seq"] = seq
@@ -768,6 +777,9 @@ class Lapi:
     def _hh_get_req(self, lapi, src, uhdr, mlen):
         def reply(lapi_, thread, data):
             buf = memoryview(self.resolve_address(data["name"]))
+            # exactly one copy: the published buffer may mutate before the
+            # reply's packets go out, so a view cannot be sent directly —
+            # but the view slice itself is free
             chunk = bytes(buf[data["off"] : data["off"] + data["n"]])
             yield from lapi_.amsend(
                 thread, data["origin"], "_lapi_get_rep", {"gid": data["gid"]}, chunk

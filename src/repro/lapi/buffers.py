@@ -12,7 +12,12 @@ __all__ = ["ByteTarget", "NullTarget"]
 
 
 class ByteTarget:
-    """Assemble into a writable bytes-like object at a base offset."""
+    """Assemble into a writable bytes-like object at a base offset.
+
+    ``write`` accepts any bytes-like chunk — including the read-only
+    ``memoryview`` slices the zero-copy transmit path produces — and
+    moves it buffer-to-buffer into the target.
+    """
 
     __slots__ = ("buf", "base")
 
@@ -22,7 +27,7 @@ class ByteTarget:
             raise ValueError("target buffer must be writable")
         self.base = base
 
-    def write(self, off: int, data: bytes) -> None:
+    def write(self, off: int, data) -> None:
         if not data:
             return
         start = self.base + off

@@ -87,7 +87,7 @@ class Cpu:
         """
         core = self._try_acquire(thread)
         if core is None:
-            ev = self.env.event()
+            ev = self.env.auto_event()
             self._waiters.append((ev, thread))
             core = yield ev  # hand-off: the releaser granted us this core
         try:
@@ -96,7 +96,7 @@ class Cpu:
                 cost_us = cost_us * self.faults.slowdown(self.env.now)
             total = switch + max(0.0, cost_us)
             if total > 0.0:
-                yield self.env.timeout(total)
+                yield self.env.auto_timeout(total)
             self.busy_us += total
         finally:
             core.last_thread = thread
@@ -109,6 +109,17 @@ class Cpu:
 
     # ------------------------------------------------------------------
     def _try_acquire(self, thread: str) -> Optional[_Core]:
+        if len(self._cores) == 1:
+            # Uniprocessor fast path (the paper's SP nodes, and by far the
+            # common configuration): a busy core blocks everyone, a free
+            # core with waiters means the waiters go first (none of them
+            # can be blocked by a same-name conflict when nothing runs).
+            core = self._cores[0]
+            if core.busy or self._waiters:
+                return None
+            core.busy = True
+            core.running = thread
+            return core
         # FIFO fairness: newcomers queue behind *eligible* waiters (this
         # is what prevents a polling loop from starving handler contexts;
         # waiters blocked only by a same-name conflict don't block others)

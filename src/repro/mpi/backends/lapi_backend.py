@@ -305,7 +305,9 @@ class LapiBackend(Backend):
 
     def _copy_ea_to_user(self, thread: str, msg: InMsg, req: Request) -> Generator:
         view = req.ctx
-        view[: msg.size] = msg.ea_buf[: msg.size]
+        # buffer-to-buffer move; a bare bytearray slice would materialise
+        # a temporary copy first
+        view[: msg.size] = memoryview(msg.ea_buf)[: msg.size]
         yield from self.cpu.memcpy(thread, msg.size)
         self._free_ea(msg.size)
         req.complete(source=msg.envelope.src, tag=msg.envelope.tag, count=msg.size)

@@ -167,9 +167,8 @@ class Adapter:
                 ev.succeed()
         if self.interrupt_mode and self._isr is not None and not self._isr_active:
             self._isr_active = True
-            self.env.timeout(self.params.interrupt_latency_us)._add_callback(
-                self._start_isr
-            )
+            self.env.call_later(self.params.interrupt_latency_us,
+                                self._start_isr)
 
     def _start_isr(self, _ev: Event) -> None:
         self.env.process(self._isr_wrapper(), name=f"a{self.node_id}.isr")
@@ -182,9 +181,8 @@ class Adapter:
             if self._host_rx and self.interrupt_mode and self._isr is not None:
                 # Packets landed after the ISR drained and exited.
                 self._isr_active = True
-                self.env.timeout(self.params.interrupt_latency_us)._add_callback(
-                    self._start_isr
-                )
+                self.env.call_later(self.params.interrupt_latency_us,
+                                    self._start_isr)
 
     # ----------------------------------------------------------- polling
     def poll(self) -> Optional[Packet]:
@@ -221,6 +219,5 @@ class Adapter:
         self.interrupt_mode = enabled
         if enabled and self._host_rx and self._isr is not None and not self._isr_active:
             self._isr_active = True
-            self.env.timeout(self.params.interrupt_latency_us)._add_callback(
-                self._start_isr
-            )
+            self.env.call_later(self.params.interrupt_latency_us,
+                                self._start_isr)

@@ -56,6 +56,9 @@ class SwitchFabric:
             # (drawing from the fabric rng, in the pre-FaultPoint order)
             self.faults = FaultInjector(rng=self.rng, params=params).point("fabric")
         self._adapters: dict[int, "Adapter"] = {}
+        #: per-destination arrival callbacks (built in attach) so transmit
+        #: allocates no closure per packet
+        self._arrive: dict[int, callable] = {}
         self._next_route: dict[tuple[int, int], int] = {}
         #: total packets the fabric dropped (loss injection)
         self.dropped = 0
@@ -71,6 +74,13 @@ class SwitchFabric:
         if adapter.node_id in self._adapters:
             raise ValueError(f"node {adapter.node_id} already attached")
         self._adapters[adapter.node_id] = adapter
+        deliver = adapter._fabric_deliver
+
+        def arrive(ev) -> None:
+            self.delivered += 1
+            deliver(ev._value)
+
+        self._arrive[adapter.node_id] = arrive
 
     @property
     def node_ids(self) -> list[int]:
@@ -91,12 +101,19 @@ class SwitchFabric:
         its link.  Delivery to the destination adapter is scheduled after
         the route's traversal latency.
         """
-        if packet.dst not in self._adapters:
+        arrive = self._arrive.get(packet.dst)
+        if arrive is None:
             raise KeyError(f"no adapter attached for node {packet.dst}")
         p = self.params
         copies, extras = 1, ()
-        if self.faults is not None:
-            verdict = self.faults.on_packet(packet, self.env.now)
+        faults = self.faults
+        # The standing loss point derived from params has no plan events;
+        # skip the whole verdict call while its live-read loss floor is
+        # zero (a mid-run heal/hurt through params still takes effect, and
+        # lossy configs keep the exact pre-existing draw order).
+        if faults is not None and (faults.events
+                                   or faults.injector.base_loss_rate != 0.0):
+            verdict = faults.on_packet(packet, self.env.now)
             if verdict is not None:
                 if verdict.copies == 0:
                     self.dropped += 1
@@ -110,14 +127,13 @@ class SwitchFabric:
             + packet.route * p.route_skew_us
             + (self.rng.random() * p.route_jitter_us if p.route_jitter_us > 0 else 0.0)
         )
-        dst = self._adapters[packet.dst]
-
-        def arrive(_ev) -> None:
-            self.delivered += 1
-            dst._fabric_deliver(packet)
-
+        if copies == 1 and not extras:
+            if self._h_delay is not None:
+                self._h_delay.observe(delay)
+            self.env.call_later(delay, arrive, packet)
+            return
         for k in range(copies):
             d = delay + (extras[k] if k < len(extras) else 0.0)
             if self._h_delay is not None:
                 self._h_delay.observe(d)
-            self.env.timeout(d)._add_callback(arrive)
+            self.env.call_later(d, arrive, packet)

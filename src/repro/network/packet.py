@@ -9,7 +9,7 @@ from typing import Any
 _pkt_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One switch packet.
 
@@ -17,8 +17,9 @@ class Packet:
     size is accounted separately via ``header_bytes`` so both stacks pay
     for their (different) header sizes, as the paper discusses in §6.1.
 
-    ``payload`` is *real* data — bytes move end to end through the
-    simulation, so data integrity is checked by the tests, not assumed.
+    ``payload`` is *real* data — bytes (or a read-only ``memoryview``
+    of the sender's snapshot) move end to end through the simulation, so
+    data integrity is checked by the tests, not assumed.
     """
 
     src: int

@@ -81,6 +81,9 @@ class StagedFabric:
             # standing loss point reading params.packet_loss_rate live
             self.faults = FaultInjector(rng=self.rng, params=params).point("fabric")
         self._adapters: dict[int, "Adapter"] = {}
+        #: per-destination arrival callbacks (built in attach), as on
+        #: SwitchFabric: no closure allocation per packet
+        self._arrive: dict[int, callable] = {}
         self._next_route: dict[tuple[int, int], int] = {}
         #: (plane, stage, dst_prefix, src_suffix) -> busy-until time
         self._busy_until: dict[tuple, float] = {}
@@ -100,6 +103,13 @@ class StagedFabric:
         if adapter.node_id in self._adapters:
             raise ValueError(f"node {adapter.node_id} already attached")
         self._adapters[adapter.node_id] = adapter
+        deliver = adapter._fabric_deliver
+
+        def arrive(ev) -> None:
+            self.delivered += 1
+            deliver(ev._value)
+
+        self._arrive[adapter.node_id] = arrive
         n = _next_pow2(max(2, max(self._adapters) + 1))
         self._stages = max(1, n.bit_length() - 1)
 
@@ -121,12 +131,16 @@ class StagedFabric:
     # ------------------------------------------------------------------
     def transmit(self, packet: "Packet") -> None:
         """Walk the packet's plane/path, reserving link occupancy."""
-        if packet.dst not in self._adapters:
+        arrive = self._arrive.get(packet.dst)
+        if arrive is None:
             raise KeyError(f"no adapter attached for node {packet.dst}")
         p = self.params
         copies, extras = 1, ()
-        if self.faults is not None:
-            verdict = self.faults.on_packet(packet, self.env.now)
+        faults = self.faults
+        # same draw-free quiet path as SwitchFabric.transmit
+        if faults is not None and (faults.events
+                                   or faults.injector.base_loss_rate != 0.0):
+            verdict = faults.on_packet(packet, self.env.now)
             if verdict is not None:
                 if verdict.copies == 0:
                     self.dropped += 1
@@ -149,14 +163,8 @@ class StagedFabric:
             self._busy_until[key] = max(t, free_at) + occupancy
         if p.route_jitter_us > 0.0:
             t += self.rng.random() * p.route_jitter_us
-        dst = self._adapters[packet.dst]
-
-        def arrive(_ev) -> None:
-            self.delivered += 1
-            dst._fabric_deliver(packet)
-
         for k in range(copies):
             d = (t - self.env.now) + (extras[k] if k < len(extras) else 0.0)
             if self._h_delay is not None:
                 self._h_delay.observe(d)
-            self.env.timeout(d)._add_callback(arrive)
+            self.env.call_later(d, arrive, packet)

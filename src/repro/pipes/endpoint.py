@@ -128,6 +128,11 @@ class PipeEndpoint:
                          thr=thread)
         chunks = fragment(size, self.params.packet_payload)
         last_idx = len(chunks) - 1
+        # Zero-copy packetization: multi-packet frames slice a read-only
+        # view of the caller's immutable snapshot (valid for retransmits
+        # and reorder stashes); a single-packet frame is the snapshot
+        # itself.
+        view = memoryview(data) if last_idx > 0 else None
         for idx, (off, ln) in enumerate(chunks):
             while not flow.window.can_send:
                 # Make progress while stalled: acks (and data) may be
@@ -142,7 +147,7 @@ class PipeEndpoint:
                 waiter = self.env.event()
                 flow.waiters.append(waiter)
                 yield AnyOf(self.env, [waiter, self.wait_rx()])
-            payload = data[off : off + ln]
+            payload = data if view is None else view[off : off + ln]
             buffered = off < buffered_prefix or (off + ln) > size - buffered_suffix
             header: dict[str, Any] = {
                 "kind": _DATA,

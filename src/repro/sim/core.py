@@ -2,20 +2,37 @@
 
 Design notes
 ------------
-* The event queue is a binary heap of ``(time, priority, seq, event)``
-  tuples.  ``seq`` is a monotonically increasing counter so that events
-  scheduled at the same instant fire in FIFO order — this makes every
-  simulation fully deterministic.
+* The pending-event set keeps the exact ``(time, priority, seq)`` order
+  of a single binary heap, but is split three ways for speed:
+
+  - a binary heap of ``(time, priority, seq, event)`` tuples for events
+    scheduled with ``delay > 0``;
+  - two FIFO deques (urgent / normal) for ``delay == 0`` events.
+
+  Delay-0 entries are stamped with the current instant and the clock can
+  never advance past them (the pop always takes the global tuple-minimum
+  of the heap top and the two deque fronts), so deque entries stay in
+  heap order by construction: ``seq`` is a global monotone counter and
+  FIFO append preserves it.  The overwhelmingly common "fires right now"
+  schedule is an O(1) append instead of an O(log n) heap push, with a
+  byte-identical event trajectory.
 * Processes are plain Python generators that ``yield`` events.  When the
   yielded event triggers, the process is resumed with the event's value
   (or the event's exception is thrown into it).
 * An event may be triggered at most once.  Triggering schedules its
   callbacks; callbacks run when the event is popped from the queue.
+* Kernel-internal fire-and-forget events (:meth:`Environment.call_later`,
+  :meth:`Environment.auto_timeout`, :meth:`Environment.auto_event`) come
+  from a per-environment free list and are recycled as soon as their
+  callbacks have run.  They must be yielded (or given their callback)
+  immediately and never retained once processed — see
+  ``docs/PERFORMANCE.md`` for the retention rules.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -28,6 +45,10 @@ __all__ = [
     "SimulationError",
     "Timeout",
 ]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+_INF = float("inf")
 
 
 class SimulationError(RuntimeError):
@@ -59,6 +80,10 @@ class Event:
     """
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    #: pooled kernel-internal events override this; the run loop recycles
+    #: them right after their callbacks fire
+    _auto = False
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -100,7 +125,14 @@ class Event:
         self._triggered = True
         self._ok = True
         self._value = value
-        self.env._enqueue(self, 0.0, priority)
+        env = self.env
+        seq = env._seq = env._seq + 1
+        if priority:
+            env._normal.append((env._now, priority, seq, self))
+        else:
+            env._urgent.append((env._now, priority, seq, self))
+        if env._m_heap is not None:
+            env._m_heap.set(len(env._queue) + len(env._urgent) + len(env._normal))
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -112,7 +144,14 @@ class Event:
         self._triggered = True
         self._ok = False
         self._value = exception
-        self.env._enqueue(self, 0.0, priority)
+        env = self.env
+        seq = env._seq = env._seq + 1
+        if priority:
+            env._normal.append((env._now, priority, seq, self))
+        else:
+            env._urgent.append((env._now, priority, seq, self))
+        if env._m_heap is not None:
+            env._m_heap.set(len(env._queue) + len(env._urgent) + len(env._normal))
         return self
 
     def defuse(self) -> None:
@@ -144,11 +183,34 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._triggered = True
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._enqueue(self, delay, NORMAL)
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self._defused = False
+        self.delay = delay
+        seq = env._seq = env._seq + 1
+        if delay == 0.0:
+            env._normal.append((env._now, NORMAL, seq, self))
+        else:
+            _heappush(env._queue, (env._now + delay, NORMAL, seq, self))
+        if env._m_heap is not None:
+            env._m_heap.set(len(env._queue) + len(env._urgent) + len(env._normal))
+
+
+class _AutoEvent(Event):
+    """Kernel-internal pooled event.
+
+    Grabbed from :attr:`Environment._free` by ``call_later`` /
+    ``auto_timeout`` / ``auto_event`` and recycled by the run loop right
+    after its callbacks fire.  References must never outlive processing.
+    """
+
+    __slots__ = ()
+
+    _auto = True
 
 
 class Initialize(Event):
@@ -158,7 +220,7 @@ class Initialize(Event):
 
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
-        self.callbacks.append(process._resume)
+        self.callbacks.append(process._cb)
         self._triggered = True
         env._enqueue(self, 0.0, URGENT)
 
@@ -171,7 +233,7 @@ class Process(Event):
     thrown in when the event fails.
     """
 
-    __slots__ = ("_gen", "_target", "name")
+    __slots__ = ("_gen", "_target", "_cb", "name")
 
     def __init__(self, env: "Environment", gen: Generator[Event, Any, Any], name: str = ""):
         if not hasattr(gen, "throw"):
@@ -179,6 +241,9 @@ class Process(Event):
         super().__init__(env)
         self._gen = gen
         self._target: Optional[Event] = None
+        # one bound method for the process's whole life, instead of a fresh
+        # allocation on every yield
+        self._cb = self._resume
         self.name = name or getattr(gen, "__name__", "process")
         if env._m_procs is not None:
             env._m_procs.incr()
@@ -195,24 +260,19 @@ class Process(Event):
         Interruption(self, cause)
 
     def _resume(self, event: Event) -> None:
-        if self.env._m_switches is not None and self.env._active_proc is not self:
-            self.env._m_switches.incr()
-        self.env._active_proc = self
+        env = self.env
+        if env._active_proc is not self and env._m_switches is not None:
+            env._m_switches.incr()
+        env._active_proc = self
         while True:
             if event._ok:
                 try:
                     next_ev = self._gen.send(event._value)
                 except StopIteration as exc:
-                    self._triggered = True
-                    self._ok = True
-                    self._value = exc.value
-                    self.env._enqueue(self, 0.0, NORMAL)
+                    self._finish(env, True, exc.value)
                     break
                 except BaseException as exc:
-                    self._triggered = True
-                    self._ok = False
-                    self._value = exc
-                    self.env._enqueue(self, 0.0, NORMAL)
+                    self._finish(env, False, exc)
                     break
             else:
                 # Deliver the failure into the generator.
@@ -220,23 +280,17 @@ class Process(Event):
                 try:
                     next_ev = self._gen.throw(event._value)
                 except StopIteration as exc:
-                    self._triggered = True
-                    self._ok = True
-                    self._value = exc.value
-                    self.env._enqueue(self, 0.0, NORMAL)
+                    self._finish(env, True, exc.value)
                     break
                 except BaseException as exc:
-                    self._triggered = True
-                    self._ok = False
-                    self._value = exc
-                    self.env._enqueue(self, 0.0, NORMAL)
+                    self._finish(env, False, exc)
                     break
 
             if not isinstance(next_ev, Event):
                 exc = SimulationError(
                     f"process {self.name!r} yielded a non-event: {next_ev!r}"
                 )
-                event = Event(self.env)
+                event = Event(env)
                 event._triggered = True
                 event._ok = False
                 event._value = exc
@@ -248,9 +302,22 @@ class Process(Event):
                     next_ev._defused = True
                 continue
             self._target = next_ev
-            next_ev._add_callback(self._resume)
+            callbacks = next_ev.callbacks
+            if callbacks is None:  # pragma: no cover - _processed caught above
+                next_ev._add_callback(self._cb)
+            else:
+                callbacks.append(self._cb)
             break
-        self.env._active_proc = None
+        env._active_proc = None
+
+    def _finish(self, env: "Environment", ok: bool, value: Any) -> None:
+        self._triggered = True
+        self._ok = ok
+        self._value = value
+        seq = env._seq = env._seq + 1
+        env._normal.append((env._now, NORMAL, seq, self))
+        if env._m_heap is not None:
+            env._m_heap.set(len(env._queue) + len(env._urgent) + len(env._normal))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Process {self.name!r} {'done' if self._triggered else 'alive'}>"
@@ -279,9 +346,14 @@ class Interruption(Event):
         target = proc._target
         if target is not None and target.callbacks is not None:
             try:
-                target.callbacks.remove(proc._resume)
+                target.callbacks.remove(proc._cb)
             except ValueError:
                 pass
+            if (not target.callbacks and not target._triggered
+                    and isinstance(target, Condition)):
+                # Nobody is left waiting on this condition: detach it from
+                # its constituents so they stop accumulating callbacks.
+                target._abandon()
         proc._target = None
         proc._resume(self)
 
@@ -301,11 +373,16 @@ class Condition(Event):
         if not self._events:
             self.succeed(self._collect())
             return
+        on_event = self._on_event
         for ev in self._events:
             if ev._processed:
                 self._on_event(ev)
             else:
-                ev._add_callback(self._on_event)
+                ev._add_callback(on_event)
+            if self._triggered:
+                # Decided already; _abandon() (called when we triggered)
+                # defused the rest, so stop attaching callbacks.
+                break
 
     def _collect(self) -> dict:
         return {
@@ -320,10 +397,31 @@ class Condition(Event):
         if not ev._ok:
             ev._defused = True
             self.fail(ev._value)
+            self._abandon()
             return
         self._count += 1
         if self._check():
             self.succeed(self._collect())
+            self._abandon()
+
+    def _abandon(self) -> None:
+        """Detach from constituents that have not fired yet.
+
+        Losing events would otherwise keep our ``_on_event`` alive for
+        their whole lifetime (polling loops leak one callback per
+        iteration).  A pruned loser that later *fails* must still not
+        crash the run — the attached ``_on_event`` used to defuse it, so
+        defuse preemptively, which is observably equivalent.
+        """
+        on_event = self._on_event
+        for ev in self._events:
+            cbs = ev.callbacks
+            if cbs is not None:
+                try:
+                    cbs.remove(on_event)
+                except ValueError:
+                    pass
+                ev._defused = True
 
     def _check(self) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -358,8 +456,14 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0, metrics=None):
         self._now = float(initial_time)
+        #: delay > 0 events, a real heap
         self._queue: list[tuple[float, int, int, Event]] = []
+        #: delay == 0 events, FIFO per priority, always at the current instant
+        self._urgent: deque[tuple[float, int, int, Event]] = deque()
+        self._normal: deque[tuple[float, int, int, Event]] = deque()
         self._seq = 0
+        #: recycled kernel-internal events (call_later / auto_timeout / auto_event)
+        self._free: list[_AutoEvent] = []
         self._active_proc: Optional[Process] = None
         self.metrics = metrics
         if metrics is not None:
@@ -381,11 +485,40 @@ class Environment:
         return self._active_proc
 
     # -- factories ---------------------------------------------------------
+    # The two hottest factories build their objects inline (one frame,
+    # no type.__call__ dispatch); keep them in sync with Event.__init__
+    # and Timeout.__init__, which remain the documented construction path.
     def event(self) -> Event:
-        return Event(self)
+        ev = Event.__new__(Event)
+        ev.env = self
+        ev.callbacks = []
+        ev._value = None
+        ev._ok = True
+        ev._triggered = False
+        ev._processed = False
+        ev._defused = False
+        return ev
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        ev = Timeout.__new__(Timeout)
+        ev.env = self
+        ev.callbacks = []
+        ev._value = value
+        ev._ok = True
+        ev._triggered = True
+        ev._processed = False
+        ev._defused = False
+        ev.delay = delay
+        seq = self._seq = self._seq + 1
+        if delay == 0.0:
+            self._normal.append((self._now, NORMAL, seq, ev))
+        else:
+            _heappush(self._queue, (self._now + delay, NORMAL, seq, ev))
+        if self._m_heap is not None:
+            self._m_heap.set(len(self._queue) + len(self._urgent) + len(self._normal))
+        return ev
 
     def process(self, gen: Generator[Event, Any, Any], name: str = "") -> Process:
         return Process(self, gen, name=name)
@@ -396,28 +529,113 @@ class Environment:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
+    # -- pooled kernel-internal events -------------------------------------
+    def call_later(self, delay: float, fn: Callable[[Event], None],
+                   value: Any = None) -> None:
+        """Run ``fn(event)`` after ``delay``, on a pooled event.
+
+        For kernel-internal fire-and-forget callbacks (fabric delivery,
+        ISR scheduling).  The event is recycled right after ``fn`` runs,
+        so ``fn`` must not retain it; ``event._value`` is ``value`` while
+        ``fn`` executes.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        free = self._free
+        ev = free.pop() if free else _AutoEvent(self)
+        ev._triggered = True
+        ev._value = value
+        ev.callbacks.append(fn)
+        seq = self._seq = self._seq + 1
+        if delay == 0.0:
+            self._normal.append((self._now, NORMAL, seq, ev))
+        else:
+            _heappush(self._queue, (self._now + delay, NORMAL, seq, ev))
+        if self._m_heap is not None:
+            self._m_heap.set(len(self._queue) + len(self._urgent) + len(self._normal))
+
+    def auto_timeout(self, delay: float, value: Any = None) -> Event:
+        """Pooled :class:`Timeout` for kernel-internal waits.
+
+        Contract: yield it immediately (exactly one waiter) and never
+        touch it again after it fires — the run loop recycles it.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        free = self._free
+        ev = free.pop() if free else _AutoEvent(self)
+        ev._triggered = True
+        ev._value = value
+        seq = self._seq = self._seq + 1
+        if delay == 0.0:
+            self._normal.append((self._now, NORMAL, seq, ev))
+        else:
+            _heappush(self._queue, (self._now + delay, NORMAL, seq, ev))
+        if self._m_heap is not None:
+            self._m_heap.set(len(self._queue) + len(self._urgent) + len(self._normal))
+        return ev
+
+    def auto_event(self) -> Event:
+        """Pooled plain event for kernel-internal resource handshakes.
+
+        Contract: the consumer yields it immediately (or drops it before
+        it fires) and never reads its state after it has been processed.
+        """
+        free = self._free
+        return free.pop() if free else _AutoEvent(self)
+
     # -- scheduling ----------------------------------------------------------
     def _enqueue(self, event: Event, delay: float, priority: int) -> None:
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        seq = self._seq = self._seq + 1
+        if delay == 0.0:
+            if priority:
+                self._normal.append((self._now, priority, seq, event))
+            else:
+                self._urgent.append((self._now, priority, seq, event))
+        else:
+            _heappush(self._queue, (self._now + delay, priority, seq, event))
         if self._m_heap is not None:
-            self._m_heap.set(len(self._queue))
+            self._m_heap.set(len(self._queue) + len(self._urgent) + len(self._normal))
+
+    def _pop(self) -> tuple[float, int, int, Event]:
+        """Remove and return the globally next schedule entry."""
+        u, n, q = self._urgent, self._normal, self._queue
+        if u:
+            if q and q[0] < u[0]:
+                return _heappop(q)
+            return u.popleft()
+        if n:
+            if q and q[0] < n[0]:
+                return _heappop(q)
+            return n.popleft()
+        return _heappop(q)  # IndexError when fully drained, as before
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        if self._urgent or self._normal:
+            return self._now  # delay-0 events are always at the current instant
+        return self._queue[0][0] if self._queue else _INF
 
     def step(self) -> None:
         """Process one event off the queue."""
-        when, _prio, _seq, event = heapq.heappop(self._queue)
-        self._now = when
+        entry = self._pop()
+        self._now = entry[0]
+        event = entry[3]
         if self._m_popped is not None:
             self._m_popped.incr()
         callbacks, event.callbacks = event.callbacks, None
         event._processed = True
         for cb in callbacks:
             cb(event)
-        if not event._ok and not event._defused:
+        if event._auto:
+            event._processed = False
+            event._triggered = False
+            event._ok = True
+            event._value = None
+            event._defused = False
+            event.callbacks = []
+            self._free.append(event)
+        elif not event._ok and not event._defused:
             raise event._value
 
     def run(self, until: Optional[float | Event] = None) -> Any:
@@ -425,7 +643,7 @@ class Environment:
 
         ``until=None`` runs until the queue drains.
         """
-        stop_at = float("inf")
+        stop_at = _INF
         stop_event: Optional[Event] = None
         if isinstance(until, Event):
             stop_event = until
@@ -438,16 +656,84 @@ class Environment:
             if stop_at < self._now:
                 raise ValueError(f"until={stop_at} is in the past (now={self._now})")
 
-        while self._queue:
+        # The heap/deque structures, the pop logic, and the body of step()
+        # are inlined here with bound locals: this loop is the simulator's
+        # single hottest path (see benchmarks/bench_simcore.py).
+        u, n, q = self._urgent, self._normal, self._queue
+        heappop = _heappop
+        free = self._free
+        m_popped = self._m_popped
+        incr = None if m_popped is None else m_popped.incr
+
+        if stop_event is None and stop_at == _INF and incr is None:
+            # drain loop: no stop checks, no metrics
+            while True:
+                if u:
+                    entry = heappop(q) if q and q[0] < u[0] else u.popleft()
+                elif n:
+                    entry = heappop(q) if q and q[0] < n[0] else n.popleft()
+                elif q:
+                    entry = heappop(q)
+                else:
+                    return None
+                self._now = entry[0]
+                event = entry[3]
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                for cb in callbacks:
+                    cb(event)
+                if event._auto:
+                    event._processed = False
+                    event._triggered = False
+                    event._ok = True
+                    event._value = None
+                    event._defused = False
+                    event.callbacks = []
+                    free.append(event)
+                elif not event._ok and not event._defused:
+                    raise event._value
+
+        while True:
             if stop_event is not None and stop_event._processed:
                 if not stop_event._ok:
                     stop_event._defused = True
                     raise stop_event._value
                 return stop_event._value
-            if self.peek() > stop_at:
-                self._now = stop_at
-                return None
-            self.step()
+            # pop the global (time, priority, seq) minimum; only heap
+            # entries can lie beyond stop_at (deque entries are always at
+            # the current instant, which never exceeds it)
+            if u:
+                entry = heappop(q) if q and q[0] < u[0] else u.popleft()
+            elif n:
+                entry = heappop(q) if q and q[0] < n[0] else n.popleft()
+            elif q:
+                entry = q[0]
+                if entry[0] > stop_at:
+                    self._now = stop_at
+                    return None
+                heappop(q)
+            else:
+                break
+            self._now = entry[0]
+            event = entry[3]
+            if incr is not None:
+                incr()
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._processed = True
+            for cb in callbacks:
+                cb(event)
+            if event._auto:
+                event._processed = False
+                event._triggered = False
+                event._ok = True
+                event._value = None
+                event._defused = False
+                event.callbacks = []
+                free.append(event)
+            elif not event._ok and not event._defused:
+                raise event._value
 
         if stop_event is not None:
             if stop_event._processed:
@@ -458,6 +744,6 @@ class Environment:
             raise SimulationError(
                 f"event queue drained before {stop_event!r} triggered (deadlock?)"
             )
-        if stop_at != float("inf"):
+        if stop_at != _INF:
             self._now = stop_at
         return None

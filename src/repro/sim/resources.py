@@ -4,6 +4,10 @@
 - :class:`Store` — unbounded FIFO of items with blocking ``get``.
 - :class:`Channel` — bounded FIFO with blocking ``put`` and ``get``
   (models hardware FIFOs with back-pressure).
+
+The operation events these return come from the environment's pooled
+free list (:meth:`Environment.auto_event`): yield them immediately and
+do not read their state after they fire — the run loop recycles them.
 """
 
 from __future__ import annotations
@@ -32,7 +36,7 @@ class Mutex:
         return self._locked
 
     def acquire(self) -> Event:
-        ev = self.env.event()
+        ev = self.env.auto_event()
         if not self._locked:
             self._locked = True
             self.acquisitions += 1
@@ -82,7 +86,7 @@ class Store:
             self._items.append(item)
 
     def get(self) -> Event:
-        ev = self.env.event()
+        ev = self.env.auto_event()
         if self._items:
             ev.succeed(self._items.popleft())
         else:
@@ -123,7 +127,7 @@ class Channel:
         return len(self._items) >= self.capacity
 
     def put(self, item: Any) -> Event:
-        ev = self.env.event()
+        ev = self.env.auto_event()
         if self._getters:
             self._getters.popleft().succeed(item)
             ev.succeed()
@@ -147,7 +151,7 @@ class Channel:
         return False
 
     def get(self) -> Event:
-        ev = self.env.event()
+        ev = self.env.auto_event()
         if self._items:
             item = self._items.popleft()
             self._admit_waiting_putter()

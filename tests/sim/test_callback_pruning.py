@@ -1,0 +1,115 @@
+"""Regression tests: losing condition waiters must not leak callbacks.
+
+A polling loop that repeatedly races a short timeout against one
+long-lived event (``yield AnyOf([data, timeout])``) used to append one
+``_on_event`` callback to the long-lived event per iteration, and an
+interrupted waiter used to leave its ``_cb`` behind on the abandoned
+target.  Both are now pruned; these tests pin the callback-list length
+so the leak cannot come back.
+"""
+
+from repro.sim import AnyOf, Environment, Event, Interrupt
+
+
+def test_anyof_loser_callbacks_stay_bounded():
+    env = Environment()
+    data = Event(env)
+    iterations = 500
+
+    def poller():
+        for _ in range(iterations):
+            yield AnyOf(env, [data, env.timeout(1.0)])
+
+    env.process(poller())
+    env.run()
+    # One stale callback per iteration before the fix; now none survive.
+    assert data.callbacks is not None
+    assert len(data.callbacks) <= 1
+
+
+def test_anyof_winner_still_fires_and_collects():
+    env = Environment()
+    data = Event(env)
+    seen = []
+
+    def fire():
+        yield env.timeout(0.5)
+        data.succeed("payload")
+
+    def waiter():
+        got = yield AnyOf(env, [data, env.timeout(5.0)])
+        seen.append(got)
+
+    env.process(fire())
+    env.process(waiter())
+    env.run()
+    assert seen and seen[0][data] == "payload"
+    # The pruned loser timeout still drains from the heap (only its
+    # callback was removed), so the clock runs out to t=5.
+    assert env.now == 5.0
+
+
+def test_pruned_loser_failure_does_not_crash():
+    """A loser pruned by ``_abandon`` is preemptively defused: if it
+    later fails, the run must not blow up with an undefused error."""
+    env = Environment()
+    loser = Event(env)
+
+    def waiter():
+        yield AnyOf(env, [env.timeout(0.1), loser])
+
+    def failer():
+        yield env.timeout(1.0)
+        loser.fail(RuntimeError("late failure"))
+
+    env.process(waiter())
+    env.process(failer())
+    env.run()  # must not raise
+
+
+def test_interrupt_detaches_waiter_from_target():
+    env = Environment()
+    target = Event(env)
+    caught = []
+
+    def waiter():
+        try:
+            yield target
+        except Interrupt as exc:
+            caught.append(exc)
+
+    proc = env.process(waiter())
+
+    def interrupter():
+        yield env.timeout(1.0)
+        proc.interrupt("stop")
+
+    env.process(interrupter())
+    env.run()
+    assert caught
+    # The interrupted waiter's callback must be gone from the target.
+    assert target.callbacks == []
+
+
+def test_interrupt_abandons_orphaned_condition():
+    """Interrupting the only waiter of an AnyOf must detach the whole
+    condition from its constituents, not just the process from the
+    condition."""
+    env = Environment()
+    longlived = Event(env)
+
+    def waiter():
+        try:
+            yield AnyOf(env, [longlived, env.timeout(100.0)])
+        except Interrupt:
+            pass
+
+    proc = env.process(waiter())
+
+    def interrupter():
+        yield env.timeout(1.0)
+        proc.interrupt()
+
+    env.process(interrupter())
+    env.run()
+    assert longlived.callbacks == []
