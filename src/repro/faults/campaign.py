@@ -103,6 +103,43 @@ def _streaming(cluster, count: int = 12, msg_size: int = 1024):
     return cluster.run(program)
 
 
+def _rma(cluster, reps: int = 4, win_size: int = 96):
+    """MPI-3 one-sided soak: fence halo puts, lock-protected counter
+    bumps, and a contended CAS.  Each rank returns its final window
+    contents — byte-equal to the fault-free run because every order-
+    dependent outcome (who wins the CAS) leaves the same memory."""
+
+    def program(comm, rank, size):
+        win = yield from comm.win_create(win_size)
+        yield from win.fence()
+        right = (rank + 1) % size
+        left = (rank - 1) % size
+        for i in range(reps):
+            pattern = bytes([(rank * 32 + i) % 255 + 1]) * 16
+            yield from win.put(pattern, right, 0)
+            yield from win.put(pattern, left, 16)
+            yield from win.fence()
+        # passive target: every rank bumps the shared counter on rank 0
+        for _ in range(reps):
+            yield from win.lock(0, exclusive=True)
+            yield from win.fetch_and_op(1, 0, 64, op="sum")
+            yield from win.unlock(0)
+        yield from comm.barrier()
+        # contended CAS: the non-root ranks race 0 -> 1 at word 72; the
+        # winner varies with timing but the memory outcome does not
+        if rank != 0:
+            yield from win.lock(0, exclusive=False)
+            yield from win.compare_and_swap(1, 0, 0, 72)
+            yield from win.unlock(0)
+        yield from comm.barrier()
+        yield from win.fence()
+        snapshot = bytes(win.mem)
+        yield from win.free()
+        return snapshot
+
+    return cluster.run(program)
+
+
 def _nas(kernel: str):
     def run(cluster):
         from repro.nas.common import run_kernel
@@ -117,17 +154,21 @@ def _nas(kernel: str):
 WORKLOADS: dict[str, tuple[Callable, int]] = {
     "pingpong": (_pingpong, 2),
     "streaming": (_streaming, 2),
+    "rma": (_rma, 3),
     "nas-cg": (_nas("cg"), 4),
     "nas-is": (_nas("is"), 4),
     "nas-ep": (_nas("ep"), 4),
 }
 
-#: the CI chaos soak: 3 plans x pingpong, plus one NAS kernel
+#: the CI chaos soak: 3 plans x pingpong, one NAS kernel, and the
+#: one-sided workload under the two plans that stress its epochs
 SOAK_MATRIX = (
     ("loss-burst", "pingpong"),
     ("reorder-storm", "pingpong"),
     ("fifo-squeeze", "pingpong"),
     ("loss-burst", "nas-cg"),
+    ("loss-burst", "rma"),
+    ("reorder-storm", "rma"),
 )
 
 
@@ -226,6 +267,15 @@ def check_invariants(cluster, payload: bytes,
             violations.append(f"rank {r}: {len(b.bound_recvs)} recvs stuck bound")
         if getattr(b, "_attach_outstanding", None):
             violations.append(f"rank {r}: attach credits outstanding")
+        eng = b._rma_engine
+        if eng is not None:
+            if eng._windows:
+                violations.append(
+                    f"rank {r}: {len(eng._windows)} RMA windows never freed")
+            if getattr(eng, "_pending", None):
+                violations.append(
+                    f"rank {r}: {len(eng._pending)} RMA replies never "
+                    f"delivered")
 
     for i, lapi in enumerate(cluster.lapis):
         if lapi is None:
@@ -338,7 +388,7 @@ def _reference_payload(workload: str, stack: str, seed: int, params) -> bytes:
 
 def run_campaign(
     plans=None,
-    workloads=("pingpong", "streaming", "nas-cg"),
+    workloads=("pingpong", "streaming", "rma", "nas-cg"),
     stack: str = "lapi-enhanced",
     seed: int = 0,
     params=None,
@@ -446,7 +496,7 @@ def main(argv=None) -> int:
     else:
         plans = ([builtin_plan(n) for n in args.plan] if args.plan else None)
         workloads = tuple(args.workload) if args.workload else (
-            "pingpong", "streaming", "nas-cg")
+            "pingpong", "streaming", "rma", "nas-cg")
         results = run_campaign(plans=plans, workloads=workloads,
                                stack=args.stack, seed=args.seed,
                                jobs=args.jobs)

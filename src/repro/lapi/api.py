@@ -238,6 +238,11 @@ class Lapi:
         """
         self._addresses[name] = obj
 
+    def address_fini(self, name: str) -> None:
+        """Retire a published address (window free); unknown names are a
+        no-op so shutdown paths stay idempotent."""
+        self._addresses.pop(name, None)
+
     def resolve_address(self, name: str) -> Any:
         try:
             return self._addresses[name]
@@ -304,8 +309,14 @@ class Lapi:
             # origin-side registration so the _cmpl echo can find it
             self._pending_cmpl[(tgt, msg_no)] = cmpl_cntr
         self._tx_outstanding += 1
+        # Immutable payloads (bytes, read-only views) are queued as-is —
+        # zero-copy; anything mutable is snapshotted so retransmits stay
+        # byte-stable even if the caller reuses the buffer.
+        if not (isinstance(udata, bytes)
+                or (isinstance(udata, memoryview) and udata.readonly)):
+            udata = bytes(udata)
         self._txq.put(
-            _SendDesc(tgt, hdr_hdl, uhdr, bytes(udata), msg_no, mid, tgt_cntr_id, org_cntr, want_cmpl)
+            _SendDesc(tgt, hdr_hdl, uhdr, udata, msg_no, mid, tgt_cntr_id, org_cntr, want_cmpl)
         )
 
     def put(
@@ -318,6 +329,7 @@ class Lapi:
         tgt_cntr_id: Optional[int] = None,
         org_cntr: Optional[Counter] = None,
         cmpl_cntr: Optional[Counter] = None,
+        mid: Optional[str] = None,
     ) -> Generator:
         """LAPI_Put: one-sided write into a published remote buffer."""
         self._m_put.incr()
@@ -330,6 +342,7 @@ class Lapi:
             tgt_cntr_id=tgt_cntr_id,
             org_cntr=org_cntr,
             cmpl_cntr=cmpl_cntr,
+            mid=mid,
         )
 
     def get(
@@ -341,8 +354,15 @@ class Lapi:
         nbytes: int,
         local_buf,
         org_cntr: Optional[Counter] = None,
+        tgt_cntr_id: Optional[int] = None,
+        mid: Optional[str] = None,
     ) -> Generator:
-        """LAPI_Get: one-sided read; ``org_cntr`` fires when data lands."""
+        """LAPI_Get: one-sided read; ``org_cntr`` fires when data lands.
+
+        ``tgt_cntr_id`` (if given) increments at the target once the
+        request has been served — i.e. the reply data has been captured,
+        so the target may safely modify the buffer afterwards.
+        """
         self._m_get.incr()
         gid = next(self._get_ids)
         self._pending_get[gid] = (memoryview(local_buf), org_cntr)
@@ -352,6 +372,8 @@ class Lapi:
             "_lapi_get_req",
             {"name": tgt_name, "off": tgt_off, "n": nbytes, "gid": gid,
              "origin": self.task_id},
+            tgt_cntr_id=tgt_cntr_id,
+            mid=mid,
         )
 
     def rmw(
@@ -363,13 +385,24 @@ class Lapi:
         in_value: int,
         prev_cntr: Optional[Counter] = None,
         compare_value: Optional[int] = None,
+        tgt_off: Optional[int] = None,
+        tgt_cntr_id: Optional[int] = None,
     ) -> Generator:
         """LAPI_Rmw: remote atomic; result arrives via :meth:`rmw_result`.
 
-        ``prev_cntr`` fires when the previous value is available.
+        ``prev_cntr`` fires when the previous value is available.  The
+        target word is ``<published object>.value`` by default; with
+        ``tgt_off`` it is the 64-bit little-endian word at that byte
+        offset of the published buffer (accessed via the object's
+        ``read_word``/``write_word``).  Atomicity holds in both cases:
+        the read-modify-write runs synchronously inside the target's
+        header handler, and the transport's duplicate suppression makes
+        it exactly-once under packet loss and retransmission.
         """
         if op not in RMW_OPS:
             raise LapiError(f"unknown Rmw op {op!r}")
+        if tgt == self.task_id:
+            raise LapiError("LAPI does not loop back to self")
         self._m_rmw.incr()
         rid = next(self._rmw_ids)
         self._pending_rmw[rid] = {"done": False, "prev": None, "cntr": prev_cntr}
@@ -384,14 +417,25 @@ class Lapi:
                 "cmp": compare_value,
                 "rid": rid,
                 "origin": self.task_id,
+                "toff": tgt_off,
             },
+            tgt_cntr_id=tgt_cntr_id,
         )
         return rid
 
     def rmw_result(self, rid: int) -> tuple[bool, Optional[int]]:
+        """Poll an Rmw: ``(done, prev)``.
+
+        Once ``done`` is True the pending entry is retired — the result
+        may be read exactly once (polling again with the same id after
+        completion raises).  This keeps ``_pending_rmw`` from growing
+        without bound over a long run.
+        """
         st = self._pending_rmw.get(rid)
         if st is None:
             raise LapiError(f"unknown rmw id {rid}")
+        if st["done"]:
+            del self._pending_rmw[rid]
         return st["done"], st["prev"]
 
     # =================================================== counter waits
@@ -772,15 +816,32 @@ class Lapi:
 
     def _hh_put(self, lapi, src, uhdr, mlen):
         buf = self.resolve_address(uhdr["name"])
+        if hasattr(buf, "rma_epoch_dirty"):
+            # ByteTarget writes through a memoryview, bypassing the
+            # window buffer's __setitem__ snapshot invalidation
+            buf.rma_epoch_dirty()
         return ByteTarget(buf, base=uhdr["off"]), None, None
 
     def _hh_get_req(self, lapi, src, uhdr, mlen):
         def reply(lapi_, thread, data):
-            buf = memoryview(self.resolve_address(data["name"]))
-            # exactly one copy: the published buffer may mutate before the
-            # reply's packets go out, so a view cannot be sent directly —
-            # but the view slice itself is free
-            chunk = bytes(buf[data["off"] : data["off"] + data["n"]])
+            obj = self.resolve_address(data["name"])
+            chunk = None
+            if hasattr(obj, "rma_exposure_view"):
+                # RMA window immutable for the current exposure epoch: the
+                # reply rides a read-only view of the epoch snapshot (taken
+                # once per epoch, amortised across every get of the epoch)
+                # straight through the zero-copy amsend path.
+                chunk = obj.rma_exposure_view(data["off"], data["n"])
+                if chunk is not None:
+                    self.metrics.counter("lapi.get_epoch_view").incr()
+            if chunk is None:
+                # the documented copy of the plain lapi.get path: the
+                # published buffer may mutate before the reply's packets
+                # go out, so a view cannot be sent directly — but the view
+                # slice itself is free
+                buf = memoryview(obj)
+                chunk = bytes(buf[data["off"] : data["off"] + data["n"]])
+                self.metrics.counter("lapi.get_reply_copy").incr()
             yield from lapi_.amsend(
                 thread, data["origin"], "_lapi_get_rep", {"gid": data["gid"]}, chunk
             )
@@ -798,18 +859,31 @@ class Lapi:
         return ByteTarget(view), done, None
 
     def _hh_rmw_req(self, lapi, src, uhdr, mlen):
+        # The whole read-modify-write runs synchronously inside this
+        # header handler: no other handler (and no local LAPI call) can
+        # interleave, which is what makes concurrent Rmw from several
+        # origins to one word atomic.
         var = self.resolve_address(uhdr["name"])
-        old = var.value
+        toff = uhdr.get("toff")
+        if toff is not None:
+            old = var.read_word(toff)
+        else:
+            old = var.value
         op = uhdr["op"]
+        new = old
         if op == "FETCH_AND_ADD":
-            var.value = old + uhdr["val"]
+            new = old + uhdr["val"]
         elif op == "FETCH_AND_OR":
-            var.value = old | uhdr["val"]
+            new = old | uhdr["val"]
         elif op == "SWAP":
-            var.value = uhdr["val"]
+            new = uhdr["val"]
         elif op == "COMPARE_AND_SWAP":
             if old == uhdr["cmp"]:
-                var.value = uhdr["val"]
+                new = uhdr["val"]
+        if toff is not None:
+            var.write_word(toff, new)
+        else:
+            var.value = new
 
         def reply(lapi_, thread, data):
             yield from lapi_.amsend(

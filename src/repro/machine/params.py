@@ -154,6 +154,21 @@ class MachineParams:
     #: completion-counter pool size per peer (MPI-LAPI "Counters" variant;
     #: the addresses are exchanged at initialisation, paper §5.2)
     counter_pool_slots: int = 256
+    #: fixed software cost of an MPI-3 RMA call on the LAPI stacks — thin
+    #: by construction: no tag matching, no request allocation, no posted/
+    #: unexpected queues (Gerstenberger et al.: the win of mapping RMA
+    #: directly onto a one-sided transport)
+    rma_call_us: float = 0.8
+    #: contiguous puts at or under this size are queued at the origin and
+    #: issued by the closing synchronization; the last one carries the
+    #: fence marker piggybacked (MPICH-style deferred RMA issue — saves
+    #: the standalone marker packet on the epoch's critical path)
+    rma_agg_limit: int = 1024
+    #: software cost of a *queued* RMA op (deferred-issue path): just an
+    #: op-list append — no lock, no adapter doorbell — so it undercuts
+    #: the full ``rma_call_us`` the same way MPICH's enqueue-only
+    #: MPI_Put does
+    rma_queue_us: float = 0.4
 
     # ------------------------------------- native MPI interrupt hysteresis
     #: native MPI's interrupt handler dwells this long waiting for more

@@ -28,6 +28,7 @@ from repro.mpi.protocol import (
     select_protocol,
 )
 from repro.mpi.request import Request, Status
+from repro.mpi.rma import RmaError, Window, WindowBuffer, win_create
 
 __all__ = [
     "ANY_SOURCE",
@@ -47,6 +48,10 @@ __all__ = [
     "Status",
     "SYNCHRONOUS",
     "Vector",
+    "Window",
+    "WindowBuffer",
+    "RmaError",
     "dims_create",
     "select_protocol",
+    "win_create",
 ]

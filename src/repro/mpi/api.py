@@ -337,6 +337,15 @@ class Communicator:
             req.complete(count=0)
         return removed
 
+    # ------------------------------------------------------- one-sided
+    def win_create(self, buf: Any) -> Generator:
+        """MPI_Win_create (collective): expose ``buf`` — an int size, a
+        ``WindowBuffer``, or any bytes-like — for one-sided access.
+        Returns a :class:`repro.mpi.rma.Window`."""
+        from repro.mpi import rma
+
+        return (yield from rma.win_create(self, buf))
+
     def send_init(self, buf: Any, dest: int, tag: int = 0) -> "PersistentRequest":
         """MPI_Send_init: a persistent standard-mode send."""
         return PersistentRequest(self, "send", buf, dest, tag)

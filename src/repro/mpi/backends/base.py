@@ -121,6 +121,9 @@ class Backend:
         # early-arrival buffer accounting
         self._ea_used = 0
 
+        #: lazily-created MPI-3 RMA engine (repro.mpi.rma)
+        self._rma_engine = None
+
         # observability: protocol-selection counters per Table-2 mode,
         # early-arrival occupancy high water, unexpected-queue depth
         self.metrics = stats.registry
@@ -226,6 +229,17 @@ class Backend:
         raise NotImplementedError
 
     def set_interrupt_mode(self, enabled: bool) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- RMA
+    def ensure_rma_engine(self):
+        """One RMA engine per backend instance, created on first
+        ``win_create`` so two-sided-only runs never pay for it."""
+        if self._rma_engine is None:
+            self._rma_engine = self.make_rma_engine()
+        return self._rma_engine
+
+    def make_rma_engine(self):
         raise NotImplementedError
 
     # ------------------------------------------------------ wait loop

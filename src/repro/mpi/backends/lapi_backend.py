@@ -138,6 +138,11 @@ class LapiBackend(Backend):
     def set_interrupt_mode(self, enabled: bool) -> None:
         self.lapi.senv("INTERRUPT_SET", enabled)
 
+    def make_rma_engine(self):
+        from repro.mpi.rma import LapiRmaEngine
+
+        return LapiRmaEngine(self)
+
     def _ctrl_engine(self) -> Generator:
         """Sends control messages queued from synchronous contexts."""
         while True:

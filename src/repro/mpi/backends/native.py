@@ -73,6 +73,11 @@ class NativeBackend(Backend):
             adapter.set_interrupt_handler(lambda _a: self._isr())
         adapter.set_interrupt_mode(enabled)
 
+    def make_rma_engine(self):
+        from repro.mpi.rma import NativeRmaEngine
+
+        return NativeRmaEngine(self)
+
     def _isr(self) -> Generator:
         """Interrupt handler with the paper's hysteresis dwell."""
         thread = f"irq{self.task_id}"
@@ -214,6 +219,12 @@ class NativeBackend(Backend):
         self._track_unexpected()
         yield from self.cpu.execute(thread, self.match_cost(inspected))
         if entry is None:
+            # mirror of the dispatcher-side re-check in _match: a message
+            # may have entered the early queue while the match cost was
+            # charged; the re-check and the post must not be separated
+            # by a yield or the pair strands
+            entry, _ = self.early.match(context, src_pattern, tag_pattern)
+        if entry is None:
             self.posted.post(context, src_pattern, tag_pattern, req)
             self.stats.matches_posted += 1
             return req
@@ -315,6 +326,12 @@ class NativeBackend(Backend):
         p = self.params
         handle, inspected = self.posted.match(msg.envelope)
         yield from self.cpu.execute(thread, self.match_cost(inspected) + p.mpi_lock_us)
+        if handle is None:
+            # a receive may have been posted by another process on this
+            # node while the match cost was being charged; re-checking
+            # here keeps the decision and the early-queue insertion
+            # atomic (no yield between them)
+            handle, _ = self.posted.match(msg.envelope)
         if handle is not None:
             self.stats.trace("mpci", "matched_posted", proto=msg.proto,
                              tag=msg.envelope.tag, mseq=msg.mseq, mid=msg.mid)

@@ -54,6 +54,22 @@ class Request:
         #: API-layer state (e.g. a pending derived-datatype unpack)
         self.user_ctx = None
 
+    @classmethod
+    def on_counter(cls, env: Environment, kind: str, cntr,
+                   threshold: int = 1) -> "Request":
+        """Request completed by a :class:`~repro.lapi.counters.Counter`
+        reaching ``threshold`` — how RMA request-ops (MPI_Rput/Rget) ride
+        LAPI completion counters without a matching engine."""
+        req = cls(env, kind)
+
+        def _check(c):
+            if not req.done and c.value >= threshold:
+                req.complete(count=0)
+
+        cntr.subscribe(_check)
+        _check(cntr)
+        return req
+
     # ------------------------------------------------------------------
     def complete(self, source: int = -1, tag: int = -1, count: int = 0) -> None:
         """Mark fully complete and wake waiters."""

@@ -13,6 +13,7 @@ from repro.obs.breakdown import (
 )
 from repro.obs.chrometrace import to_chrome_trace, write_chrome_trace
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.rma import rma_op_phases, rma_records, rma_summary
 from repro.obs.spans import MessageTree, Span, build_span_trees, render_text
 
 __all__ = [
@@ -32,6 +33,9 @@ __all__ = [
     "lapi_breakdowns",
     "pipes_breakdowns",
     "render_text",
+    "rma_op_phases",
+    "rma_records",
+    "rma_summary",
     "summarize",
     "to_chrome_trace",
     "write_chrome_trace",

@@ -68,6 +68,9 @@ class PipeEndpoint:
         self._tx: dict[int, _FlowTx] = {}
         self._rx: dict[int, _FlowRx] = {}
         self.on_packet: Optional[Callable[..., Generator]] = None
+        # dispatch serialization: see :meth:`dispatch`
+        self._dispatching = False
+        self._dispatch_waiters: list[Event] = []
         #: fault hook (:class:`repro.faults.FaultPoint`) for dispatcher
         #: stalls; installed by the cluster, ``None`` otherwise
         self.faults = None
@@ -212,23 +215,48 @@ class PipeEndpoint:
 
     # ---------------------------------------------------------- receiving
     def dispatch(self, thread: str) -> Generator:
-        """Drain the adapter and process every pending packet."""
+        """Drain the adapter and process every pending packet.
+
+        Unlike the LAPI dispatcher, packet processing here is **not**
+        re-entrant: the frame machinery installed via ``on_packet``
+        keeps per-frame state across yield points, so two contexts
+        draining concurrently would interleave a frame's continuation
+        ahead of its registration.  A second caller therefore parks
+        until the active drain finishes, then returns (any packets that
+        arrived meanwhile were consumed by the active drain's loop, or
+        will wake the caller's own wait loop again).
+        """
         if self.faults is not None:
             stall = self.faults.stall_us(self.env.now)
             if stall > 0.0:
                 yield from self.cpu.execute(thread, stall)
-        while True:
-            pkt = self.hal.poll()
-            if pkt is None:
-                return
-            yield from self.hal.charge_recv(thread)
-            kind = pkt.header.get("kind")
-            if kind == _ACK:
-                self._handle_ack(pkt.src, pkt.header["cum"])
-            elif kind == _DATA:
-                yield from self._handle_data(thread, pkt.src, pkt.header, pkt.payload)
-            else:
-                raise RuntimeError(f"pipe endpoint got foreign packet kind {kind!r}")
+        if self._dispatching:
+            ev = self.env.event()
+            self._dispatch_waiters.append(ev)
+            yield ev
+            return
+        self._dispatching = True
+        try:
+            while True:
+                pkt = self.hal.poll()
+                if pkt is None:
+                    return
+                yield from self.hal.charge_recv(thread)
+                kind = pkt.header.get("kind")
+                if kind == _ACK:
+                    self._handle_ack(pkt.src, pkt.header["cum"])
+                elif kind == _DATA:
+                    yield from self._handle_data(
+                        thread, pkt.src, pkt.header, pkt.payload)
+                else:
+                    raise RuntimeError(
+                        f"pipe endpoint got foreign packet kind {kind!r}")
+        finally:
+            self._dispatching = False
+            waiters, self._dispatch_waiters = self._dispatch_waiters, []
+            for ev in waiters:
+                if not ev.triggered:
+                    ev.succeed()
 
     def _handle_ack(self, src: int, cum: int) -> None:
         flow = self._flow_tx(src)

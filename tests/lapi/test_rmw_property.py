@@ -1,0 +1,169 @@
+"""Property tests pinning LAPI_Rmw atomicity and exactly-once delivery.
+
+The paper's claim (and the RMA subsystem's load-bearing assumption) is
+that a remote read-modify-write runs synchronously inside the target's
+header handler — no interleaving with other handlers — and that the
+transport's duplicate suppression makes it exactly-once even when the
+request packet is lost and retransmitted.  The checkable consequences:
+
+* FETCH_AND_ADD from N concurrent origins: the final word is the exact
+  sum, and the multiset of fetched previous values is a permutation of
+  the prefix sums of *some* serialization of the ops (linearizability).
+* COMPARE_AND_SWAP from N origins racing on one word: exactly one wins.
+* Under packet loss the same invariants hold and each op applies once.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lapi.counters import Counter
+from tests.lapi.conftest import LapiRig
+
+
+class Word:
+    """A remotely-RMW-able scalar (LAPI_Rmw target)."""
+
+    def __init__(self, value=0):
+        self.value = value
+
+
+def _run_faa(n_origins, values, reps, seed, loss):
+    """Each origin task fetch-and-adds its values into task 0's word.
+
+    Returns (final_value, prevs) where prevs is the flat list of fetched
+    previous values in completion order per origin.
+    """
+    rig = LapiRig(n_origins + 1, seed=seed, packet_loss_rate=loss)
+    target = rig.tasks[0]
+    word = Word(0)
+    target.address_init("w", word)
+    done = [False] * n_origins
+    prevs = []
+
+    def origin(i):
+        task = rig.tasks[i + 1]
+        for r in range(reps):
+            cntr = Counter(rig.env, f"prev{i}.{r}")
+            rid = yield from task.rmw("user", 0, "w", "FETCH_AND_ADD",
+                                      values[i], prev_cntr=cntr)
+            yield from task.waitcntr("user", cntr, 1)
+            ok, prev = task.rmw_result(rid)
+            assert ok
+            prevs.append(prev)
+        done[i] = True
+
+    def target_proc():
+        while not all(done):
+            yield from target.dispatch("user")
+            yield rig.env.timeout(3.0)
+
+    rig.run(target_proc(), *(origin(i) for i in range(n_origins)),
+            until=5e6)
+    assert all(done), "an rmw never completed"
+    return word.value, prevs
+
+
+@given(
+    values=st.lists(st.integers(min_value=1, max_value=50), min_size=2,
+                    max_size=4),
+    reps=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_concurrent_faa_is_atomic_and_linearizable(values, reps, seed):
+    total, prevs = _run_faa(len(values), values, reps, seed, loss=0.0)
+    expected = sum(values) * reps
+    assert total == expected
+    # linearizability: with strictly positive deltas the word increases
+    # monotonically, so the serialization order IS the sorted prevs and
+    # every op must fit the chain 0 -> total exactly.
+    deltas = sorted(values * reps)
+    ordered = sorted(prevs)
+    assert ordered[0] == 0, "first applied op did not see the initial word"
+    implied = [ordered[k + 1] - ordered[k] for k in range(len(ordered) - 1)]
+    implied.append(expected - ordered[-1])
+    assert sorted(implied) == deltas, (
+        f"prevs {ordered} are not a serialization of deltas {deltas}")
+
+
+@given(
+    n=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**16),
+    loss=st.sampled_from([0.0, 0.08, 0.15]),
+)
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_concurrent_cas_exactly_one_winner(n, seed, loss):
+    rig = LapiRig(n + 1, seed=seed, packet_loss_rate=loss)
+    target = rig.tasks[0]
+    word = Word(0)
+    target.address_init("w", word)
+    results = {}
+
+    def origin(i):
+        task = rig.tasks[i + 1]
+        cntr = Counter(rig.env, f"prev{i}")
+        rid = yield from task.rmw("user", 0, "w", "COMPARE_AND_SWAP",
+                                  i + 1, prev_cntr=cntr, compare_value=0)
+        yield from task.waitcntr("user", cntr, 1)
+        ok, prev = task.rmw_result(rid)
+        assert ok
+        results[i] = prev
+
+    def target_proc():
+        while len(results) < n:
+            yield from target.dispatch("user")
+            yield rig.env.timeout(3.0)
+
+    rig.run(target_proc(), *(origin(i) for i in range(n)), until=5e6)
+    assert len(results) == n
+    winners = [i for i, prev in results.items() if prev == 0]
+    assert len(winners) == 1, f"CAS winners: {winners} (results {results})"
+    assert word.value == winners[0] + 1
+    # every loser fetched the winner's value (the word never changed again)
+    for i, prev in results.items():
+        if i not in winners:
+            assert prev == winners[0] + 1
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_faa_exactly_once_under_loss(seed):
+    """Loss + retransmission must not double-apply an rmw."""
+    total, prevs = _run_faa(3, [7, 11, 13], 2, seed, loss=0.12)
+    assert total == 2 * (7 + 11 + 13)
+    assert len(prevs) == 6
+    assert len(set(prevs)) == 6  # all distinct: each applied exactly once
+
+
+def test_rmw_result_is_read_exactly_once():
+    """Polling a completed rmw id again raises (retired entry)."""
+    import pytest
+
+    from repro.lapi import LapiError
+
+    rig = LapiRig(2)
+    t0, t1 = rig.tasks
+    word = Word(3)
+    t1.address_init("w", word)
+    cntr = Counter(rig.env, "prev")
+    got = {}
+
+    def origin():
+        rid = yield from t0.rmw("user", 1, "w", "FETCH_AND_ADD", 4,
+                                prev_cntr=cntr)
+        yield from t0.waitcntr("user", cntr, 1)
+        got["rid"] = rid
+
+    def tgt():
+        while "rid" not in got:
+            yield from t1.dispatch("user")
+            yield rig.env.timeout(3.0)
+
+    rig.run(origin(), tgt())
+    done, prev = t0.rmw_result(got["rid"])
+    assert done and prev == 3
+    with pytest.raises(LapiError):
+        t0.rmw_result(got["rid"])

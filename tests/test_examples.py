@@ -22,7 +22,7 @@ def run_example(name):
 @pytest.mark.parametrize(
     "name",
     ["quickstart", "one_sided_lapi", "protocol_trace", "stencil_topology",
-     "mpl_legacy"],
+     "mpl_legacy", "rma_halo"],
 )
 def test_example_runs(name, capsys):
     run_example(name)
